@@ -1,0 +1,16 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper exhibit at a reduced but meaningful
+horizon (the paper uses 1 M RTL cycles; pure-Python cycle simulation runs
+~10^3x slower, and the reported metrics are time-averages that stabilize
+well below the default here).  Set ``REPRO_BENCH_CYCLES`` /
+``REPRO_BENCH_SEEDS`` to trade time for tighter numbers.
+"""
+
+import os
+
+BENCH_CYCLES = int(os.environ.get("REPRO_BENCH_CYCLES", 12_000))
+BENCH_WARMUP = max(500, BENCH_CYCLES // 6)
+BENCH_SEEDS = tuple(
+    int(s) for s in os.environ.get("REPRO_BENCH_SEEDS", "2010").split(",")
+)

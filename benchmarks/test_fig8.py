@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Fig. 8 (performance vs number of GSS routers).
+
+Paper expectation: utilization rises and latencies fall steeply as the
+first ~3 routers around the memory corner become GSS, then plateau —
+"more than four GSS routers achieve little improvement".
+"""
+
+from conftest import BENCH_CYCLES, BENCH_SEEDS, BENCH_WARMUP
+from repro.experiments.fig8 import knee_index, render, run_fig8
+
+
+def test_fig8(benchmark):
+    curves = benchmark.pedantic(
+        lambda: run_fig8(cycles=BENCH_CYCLES, warmup=BENCH_WARMUP,
+                         seeds=BENCH_SEEDS),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render(curves))
+
+    for curve in curves:
+        full = curve.gss_router_counts[-1]
+        # deploying GSS routers helps relative to the k=0 baseline
+        assert curve.utilization[-1] >= curve.utilization[0] - 0.02
+        assert curve.latency_priority[-1] <= curve.latency_priority[0] * 1.05
+        # the knee lands in the first few routers (paper: 3)
+        assert knee_index(curve) <= max(4, full // 2)

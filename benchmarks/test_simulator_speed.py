@@ -1,0 +1,59 @@
+"""Microbenchmarks of the simulation kernel itself.
+
+Not a paper exhibit — these measure simulated-cycles-per-second of the
+core building blocks so performance regressions in the simulator are
+caught alongside the reproduction benchmarks.
+"""
+
+from itertools import count
+
+from tests.helpers import make_request
+from repro.core.system import build_system
+from repro.dram.controller import CommandEngine
+from repro.dram.device import SdramDevice
+from repro.dram.timing import DramTiming
+from repro.sim.config import DdrGeneration, NocDesign, SystemConfig
+
+
+def test_full_system_cycles_per_second(benchmark):
+    system = build_system(SystemConfig(app="single_dtv", cycles=100_000,
+                                       design=NocDesign.GSS_SAGM))
+
+    def step_chunk():
+        for _ in range(500):
+            system.simulator.step()
+
+    benchmark(step_chunk)
+
+
+def test_dram_engine_throughput(benchmark):
+    timing = DramTiming.for_clock(DdrGeneration.DDR2, 333)
+    ids = count()
+
+    def serve_batch():
+        device = SdramDevice(timing)
+        engine = CommandEngine(device, burst_beats=8)
+        pending = [
+            make_request(request_id=next(ids), bank=i % 8, row=i // 8, beats=16)
+            for i in range(64)
+        ]
+        cycle = 0
+        while (pending or not engine.idle) and cycle < 10_000:
+            if pending and engine.has_space:
+                engine.accept(pending.pop(0), cycle)
+            engine.tick(cycle)
+            engine.drain_finished()
+            cycle += 1
+
+    benchmark(serve_batch)
+
+
+def test_conv_system_cycles_per_second(benchmark):
+    system = build_system(SystemConfig(app="dual_dtv", cycles=100_000,
+                                       design=NocDesign.CONV))
+
+    def step_chunk():
+        for _ in range(500):
+            system.simulator.step()
+
+    benchmark(step_chunk)

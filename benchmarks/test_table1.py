@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Table I (no priority memory requests).
+
+Paper expectations (ratios vs the SDRAM-aware baseline [4]):
+
+* CONV: lower utilization, much higher latency;
+* GSS:  ~par utilization (1.018x) and latency (0.942x);
+* GSS+SAGM: +3-6 % utilization, ~0.85x latency.
+
+Known deviation (see EXPERIMENTS.md): our MemMax+Databahn model is more
+capable than the paper's CONV, so CONV lands at utilization parity with
+[4] instead of ~9 % below; its latency ordering (worst of all designs)
+is preserved.
+"""
+
+from conftest import BENCH_CYCLES, BENCH_SEEDS, BENCH_WARMUP
+from repro.experiments.table1 import render, run_table1
+from repro.sim.config import NocDesign
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table1(cycles=BENCH_CYCLES, warmup=BENCH_WARMUP,
+                           seeds=BENCH_SEEDS),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render(result))
+
+    ratios = result.ratios(NocDesign.SDRAM_AWARE)
+    sagm = ratios[NocDesign.GSS_SAGM]
+    gss = ratios[NocDesign.GSS]
+    conv = ratios[NocDesign.CONV]
+
+    # GSS+SAGM wins utilization and latency against [4] (paper: 1.054 / 0.846)
+    assert sagm["utilization"] > 1.01
+    assert sagm["latency_all"] < 0.97
+    # GSS is at least at parity with [4] (paper: 1.018 / 0.942)
+    assert gss["utilization"] > 0.97
+    assert gss["latency_all"] < 1.05
+    # CONV pays the worst latency of all designs (paper: 1.59x)
+    assert conv["latency_all"] == max(r["latency_all"] for r in ratios.values())

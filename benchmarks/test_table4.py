@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table IV (gate counts, analytical model).
+
+Paper ratios (vs the proposed design): flow controller CONV 0.539 /
+[4] 1.097; router 0.904 / 1.003; memory subsystem 3.283 / 1.065; full
+3x3 NoC 1.511 / 1.035.
+"""
+
+from conftest import BENCH_CYCLES  # noqa: F401  (uniform bench imports)
+from repro.experiments.table4 import render, run_table4
+
+
+def test_table4(benchmark):
+    data = benchmark.pedantic(run_table4, rounds=3, iterations=1)
+    print()
+    print(render(data))
+
+    def ratio(module, design):
+        return data[module][design] / data[module]["gss+sagm+sti"]
+
+    # flow controller: CONV about half, [4] slightly larger than ours
+    assert 0.4 < ratio("flow_controller", "conv") < 0.65
+    assert 1.02 < ratio("flow_controller", "sdram-aware") < 1.2
+    # router: within ~10 % across designs
+    assert 0.85 < ratio("router", "conv") < 1.0
+    assert 0.98 < ratio("router", "sdram-aware") < 1.05
+    # memory subsystem: CONV ~3x (reorder buffers + MemMax)
+    assert 2.5 < ratio("memory_subsystem", "conv") < 3.8
+    assert 1.0 < ratio("memory_subsystem", "sdram-aware") < 1.15
+    # full NoC: CONV ~1.5x, [4] ~1.04x
+    assert 1.3 < ratio("noc_3x3", "conv") < 1.7
+    assert 1.0 < ratio("noc_3x3", "sdram-aware") < 1.12

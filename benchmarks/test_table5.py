@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Table V (average power, analytical model).
+
+Paper: CONV burns ~1.33-1.55x the proposed design's power (the reorder
+buffers and MemMax thread buffers); [4] is within ~0.5 %... our gate model
+puts [4] ~5 % above, see EXPERIMENTS.md.
+"""
+
+from conftest import BENCH_CYCLES, BENCH_SEEDS
+from repro.experiments.table5 import render, run_table5
+
+
+def test_table5_static(benchmark):
+    data = benchmark.pedantic(run_table5, rounds=3, iterations=1)
+    print()
+    print(render(data))
+    for row in data.values():
+        ours = row["gss+sagm+sti"]
+        assert 1.25 < row["conv"] / ours < 1.6
+        assert 1.0 < row["sdram-aware"] / ours < 1.12
+
+
+def test_table5_with_measured_activity(benchmark):
+    """Power modulated by each design's simulated switching activity."""
+    data = benchmark.pedantic(
+        lambda: run_table5(with_activity=True, cycles=4_000,
+                           seeds=BENCH_SEEDS),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render(data))
+    for row in data.values():
+        assert row["conv"] > row["gss+sagm+sti"]

@@ -1,0 +1,44 @@
+"""Quickstart: simulate one SoC configuration and print its metrics.
+
+Builds the paper's single-DTV model on a 3x3 mesh with DDR II SDRAM at
+333 MHz, runs each NoC design for 20 000 cycles, and prints the three
+headline metrics of the paper's evaluation: memory utilization, average
+memory latency of all packets, and average latency of CPU demand packets.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import NocDesign, SystemConfig, run_config
+
+
+def main() -> None:
+    print(f"{'design':18s} {'utilization':>11s} {'latency(all)':>13s} {'latency(demand)':>16s}")
+    for design in (
+        NocDesign.CONV,
+        NocDesign.SDRAM_AWARE,   # the state-of-the-art baseline [4]
+        NocDesign.GSS,           # this paper's guaranteed-SDRAM-service router
+        NocDesign.GSS_SAGM,      # + SDRAM access granularity matching
+    ):
+        config = SystemConfig(
+            app="single_dtv",
+            design=design,
+            clock_mhz=333,
+            priority_enabled=True,
+            cycles=20_000,
+            warmup=3_000,
+        )
+        metrics = run_config(config)
+        print(
+            f"{design.value:18s} {metrics.utilization:11.3f} "
+            f"{metrics.latency_all:13.1f} {metrics.latency_demand:16.1f}"
+        )
+    print(
+        "\nExpected shape: GSS+SAGM gives the best utilization and the"
+        "\nshortest demand latency; CONV pays the thread-pipeline overhead."
+    )
+
+
+if __name__ == "__main__":
+    main()

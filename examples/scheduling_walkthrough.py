@@ -1,0 +1,102 @@
+"""Fig. 1 walkthrough: priority-equal vs priority-first vs GSS hybrid.
+
+Recreates the paper's motivating example (Fig. 1): an input buffer holds
+two CPU demand requests, two prefetch requests, and two video-core
+requests.  Demand 2 bank-conflicts with demand 1 (same bank, different
+row), while prefetch 2 row-hits request 2.  The example drives the GSS
+flow controller directly — no network — at three PCT settings and prints
+the schedule each produces:
+
+* PCT = 1 (priority-equal, the [4] baseline): best bank behaviour, but
+  demand 2 is served late — the CPU stalls;
+* priority-first: demands go first, but demand 2 immediately follows
+  demand 1 into the same bank — a bank conflict stalls the SDRAM;
+* the hybrid (PCT between the extremes) serves the demands early *and*
+  slips a different-bank request between the two conflicting demands.
+
+Run with::
+
+    python examples/scheduling_walkthrough.py
+"""
+
+from itertools import count
+
+from repro.core.gss_flow_control import GssFlowController, PfsMemoryFlowController, SdramAwareFlowController
+from repro.dram.request import MemoryRequest, ServiceClass
+from repro.dram.timing import DramTiming
+from repro.noc.packet import request_packet
+from repro.noc.topology import Port
+from repro.sim.config import DdrGeneration
+
+
+def fig1_requests():
+    """The six requests of Fig. 1(a).  BA = bank address; all reads; all
+    rows differ except prefetch 2 and request 2 (a row-buffer hit pair)."""
+    mk = count()
+
+    def req(name, bank, row, priority=False):
+        request = MemoryRequest(
+            request_id=next(mk), master=0, bank=bank, row=row, column=0,
+            beats=8, is_read=True,
+            service=ServiceClass.PRIORITY if priority else ServiceClass.BEST_EFFORT,
+            is_demand=priority,
+        )
+        return name, request
+
+    return [
+        req("demand 1", bank=1, row=10, priority=True),
+        req("prefetch 1", bank=2, row=20),
+        req("request 1", bank=3, row=30),
+        req("demand 2", bank=1, row=11, priority=True),   # conflicts demand 1
+        req("prefetch 2", bank=4, row=40),
+        req("request 2", bank=4, row=40),                 # row-hits prefetch 2
+    ]
+
+
+def schedule_with(controller, label):
+    timing = DramTiming.for_clock(DdrGeneration.DDR2, 333)
+    names = {}
+    packets = []
+    pid = count()
+    for port, (name, request) in enumerate(fig1_requests()):
+        packet = request_packet(next(pid), request, src=1, dst=0, cycle=0)
+        names[packet.packet_id] = name
+        # Each request arrives on its own (virtual) input port so the
+        # controller may pick any of them, like Fig. 1's input buffer.
+        controller.on_arrival(Port(port % 5), packet, cycle=0)
+        packets.append((Port(port % 5), packet))
+    order = []
+    remaining = list(packets)
+    cycle = 0
+    while remaining:
+        winner = controller.pick(remaining, cycle)
+        assert winner is not None
+        port, packet = winner
+        controller.on_scheduled(port, packet, cycle)
+        controller.on_delivered(packet, cycle + 4)
+        order.append(names[packet.packet_id])
+        remaining = [c for c in remaining if c[1] is not packet]
+        cycle += 4
+    print(f"{label:32s}: " + " -> ".join(order))
+    return order
+
+
+def main() -> None:
+    timing = DramTiming.for_clock(DdrGeneration.DDR2, 333)
+    print("Fig. 1 input buffer: demand1(BA1) prefetch1(BA2) request1(BA3)")
+    print("                     demand2(BA1, conflicts demand1)")
+    print("                     prefetch2(BA4) request2(BA4, row-hit)\n")
+    schedule_with(SdramAwareFlowController(timing), "priority-equal ([4], PCT=1)")
+    schedule_with(
+        PfsMemoryFlowController(SdramAwareFlowController(timing)),
+        "priority-first (PFS)",
+    )
+    schedule_with(GssFlowController(timing, pct=5), "GSS hybrid (PCT=5)")
+    print(
+        "\nThe hybrid serves both demands early but separates them with a"
+        "\ndifferent-bank packet, avoiding the bank conflict PFS incurs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Fig. 5 as ASCII timing diagrams.
+
+Renders the paper's Fig. 5 story directly from the device model: in BL 4
+mode a row-missing access stream needs three commands per two data cycles,
+so PRE commands collide with CAS commands on the single command bus —
+unless the CAS executes with auto-precharge, which removes the PRE from
+the stream entirely.
+
+Run with::
+
+    python examples/timing_diagram.py
+"""
+
+from itertools import count
+
+from repro.dram.controller import CommandEngine, PagePolicy
+from repro.dram.device import SdramDevice
+from repro.dram.request import MemoryRequest
+from repro.dram.timing import DramTiming
+from repro.dram.waveform import attach
+from repro.sim.config import DdrGeneration
+
+ids = count()
+
+
+def conflicting_stream(n=6):
+    """Every request misses (two banks, alternating rows)."""
+    return [
+        MemoryRequest(request_id=next(ids), master=0, bank=i % 2, row=i,
+                      column=0, beats=4, is_read=True, ap_tag=True)
+        for i in range(n)
+    ]
+
+
+def run(page_policy):
+    device = SdramDevice(DramTiming.for_clock(DdrGeneration.DDR2, 333))
+    capture = attach(device)
+    engine = CommandEngine(device, burst_beats=4, page_policy=page_policy,
+                           window=8)
+    pending = conflicting_stream()
+    cycle = 0
+    while (pending or not engine.idle) and cycle < 300:
+        if pending and engine.has_space:
+            engine.accept(pending.pop(0), cycle)
+        engine.tick(cycle)
+        engine.drain_finished()
+        cycle += 1
+    return capture, cycle
+
+
+def main() -> None:
+    print("BL 4, open page (explicit PRE commands compete for the bus):\n")
+    capture, cycles = run(PagePolicy.OPEN_PAGE)
+    print(capture.render(end=min(80, capture.horizon)))
+    print(f"\n  -> {cycles} cycles, "
+          f"{sum(1 for _, c in capture.commands if c.kind.value == 'PRE')} PRE commands\n")
+
+    print("BL 4 with auto-precharge (Fig. 5(c): no PRE, no command delay):\n")
+    capture, cycles = run(PagePolicy.PARTIALLY_OPEN)
+    print(capture.render(end=min(80, capture.horizon)))
+    print(f"\n  -> {cycles} cycles, "
+          f"{sum(1 for _, c in capture.commands if c.kind.value == 'PRE')} PRE commands")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file exists so that
+legacy editable installs (`pip install -e . --no-use-pep517`) work in
+offline environments where PEP 517 editable builds cannot run.
+"""
+from setuptools import setup
+
+setup()

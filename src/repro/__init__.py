@@ -1,0 +1,36 @@
+"""Application-aware NoC design for efficient SDRAM access.
+
+Full-system cycle-level reproduction of W. Jang and D. Z. Pan,
+"Application-Aware NoC Design for Efficient SDRAM Access" (DAC 2010 /
+IEEE TCAD 30(10), 2011): the GSS (guaranteed SDRAM service) router, SAGM
+(SDRAM access granularity matching), the SDRAM-aware baseline [4], and the
+conventional MemMax/Databahn-style memory subsystem, over cycle-level DDR
+I/II/III device models and a wormhole 2-D mesh NoC.
+
+Quick start::
+
+    from repro import SystemConfig, NocDesign, run_config
+
+    config = SystemConfig(app="single_dtv", design=NocDesign.GSS_SAGM,
+                          priority_enabled=True, cycles=20_000)
+    metrics = run_config(config)
+    print(metrics.utilization, metrics.latency_all, metrics.latency_demand)
+"""
+
+from .core.system import SocSystem, build_system, run_config
+from .sim.config import DdrGeneration, NocDesign, SystemConfig, paper_configs
+from .sim.stats import RunMetrics
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DdrGeneration",
+    "NocDesign",
+    "RunMetrics",
+    "SocSystem",
+    "SystemConfig",
+    "build_system",
+    "paper_configs",
+    "run_config",
+    "__version__",
+]

@@ -1,0 +1,186 @@
+"""Command-line interface: run configurations and regenerate exhibits.
+
+Examples::
+
+    python -m repro run --app bluray --design gss+sagm --priority
+    python -m repro table1 --cycles 12000
+    python -m repro fig8 --max-routers 5
+    python -m repro table4
+    python -m repro all --cycles 8000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .core.system import build_system
+from .experiments import fig8, table1, table2, table3, table4, table5
+from .sim.config import DdrGeneration, NocDesign, SystemConfig
+
+
+def _design(value: str) -> NocDesign:
+    for design in NocDesign:
+        if design.value == value:
+            return design
+    raise argparse.ArgumentTypeError(
+        f"unknown design {value!r}; choose from "
+        f"{[d.value for d in NocDesign]}"
+    )
+
+
+def _ddr(value: str) -> DdrGeneration:
+    for generation in DdrGeneration:
+        if generation.value == value:
+            return generation
+    raise argparse.ArgumentTypeError(f"unknown DDR generation {value!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Application-aware NoC design for efficient SDRAM access "
+            "(Jang & Pan, DAC 2010) — simulation and experiment driver"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one configuration")
+    run.add_argument("--app", default="single_dtv")
+    run.add_argument("--design", type=_design, default=NocDesign.GSS_SAGM)
+    run.add_argument("--ddr", type=_ddr, default=DdrGeneration.DDR2)
+    run.add_argument("--clock", type=int, default=333, metavar="MHZ")
+    run.add_argument("--cycles", type=int, default=20_000)
+    run.add_argument("--warmup", type=int, default=3_000)
+    run.add_argument("--seed", type=int, default=2010)
+    run.add_argument("--pct", type=int, default=5)
+    run.add_argument("--priority", action="store_true")
+    run.add_argument("--sti", action="store_true")
+    run.add_argument("--adaptive", action="store_true")
+    run.add_argument("--gss-routers", type=int, default=None)
+    run.add_argument("--vcs", type=int, default=1,
+                     help="virtual channels per link (2 adds a priority lane)")
+    run.add_argument("--link-buffers", type=int, default=12, metavar="FLITS")
+
+    for name, module in [
+        ("table1", table1), ("table2", table2), ("table3", table3),
+    ]:
+        exhibit = sub.add_parser(name, help=f"regenerate {name}")
+        exhibit.add_argument("--cycles", type=int, default=None)
+        exhibit.add_argument("--warmup", type=int, default=None)
+        exhibit.add_argument("--seeds", type=int, nargs="+", default=None)
+
+    sub.add_parser("table4", help="regenerate Table IV (gate counts)")
+    sub.add_parser("table5", help="regenerate Table V (power)")
+
+    fig = sub.add_parser("fig8", help="regenerate Fig. 8 (GSS router sweep)")
+    fig.add_argument("--cycles", type=int, default=None)
+    fig.add_argument("--warmup", type=int, default=None)
+    fig.add_argument("--seeds", type=int, nargs="+", default=None)
+    fig.add_argument("--max-routers", type=int, default=None)
+
+    everything = sub.add_parser("all", help="regenerate every exhibit")
+    everything.add_argument("--cycles", type=int, default=None)
+    everything.add_argument("--warmup", type=int, default=None)
+    everything.add_argument("--seeds", type=int, nargs="+", default=None)
+
+    export = sub.add_parser(
+        "export", help="run every exhibit and write results as JSON"
+    )
+    export.add_argument("output", help="path of the JSON document to write")
+    export.add_argument("--cycles", type=int, default=None)
+    export.add_argument("--warmup", type=int, default=None)
+    export.add_argument("--seeds", type=int, nargs="+", default=None)
+
+    return parser
+
+
+def _seeds(args) -> dict:
+    kwargs = {}
+    if getattr(args, "cycles", None) is not None:
+        kwargs["cycles"] = args.cycles
+    if getattr(args, "warmup", None) is not None:
+        kwargs["warmup"] = args.warmup
+    if getattr(args, "seeds", None) is not None:
+        kwargs["seeds"] = tuple(args.seeds)
+    return kwargs
+
+
+def _cmd_run(args) -> None:
+    config = SystemConfig(
+        app=args.app,
+        design=args.design,
+        ddr=args.ddr,
+        clock_mhz=args.clock,
+        cycles=args.cycles,
+        warmup=args.warmup,
+        seed=args.seed,
+        pct=args.pct,
+        priority_enabled=args.priority,
+        sti=args.sti,
+        adaptive_routing=args.adaptive,
+        num_gss_routers=args.gss_routers,
+        virtual_channels=args.vcs,
+        link_buffer_flits=args.link_buffers,
+    )
+    started = time.time()
+    system = build_system(config)
+    metrics = system.run()
+    elapsed = time.time() - started
+    print(f"configuration : {config.label}")
+    print(f"cycles        : {metrics.cycles} ({elapsed:.1f}s wall)")
+    print(f"utilization   : {metrics.utilization:.3f} "
+          f"(bus occupancy {metrics.raw_utilization:.3f})")
+    print(f"latency (all) : {metrics.latency_all:.1f} cycles")
+    print(f"latency (dem) : {metrics.latency_demand:.1f} cycles")
+    print(f"row-hit rate  : {metrics.row_hit_rate:.2f}")
+    print(f"completed     : {metrics.completed} requests")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        _cmd_run(args)
+    elif args.command == "table1":
+        print(table1.render(table1.run_table1(**_seeds(args))))
+    elif args.command == "table2":
+        print(table2.render(table2.run_table2(**_seeds(args))))
+    elif args.command == "table3":
+        print(table3.render(table3.run_table3(**_seeds(args))))
+    elif args.command == "table4":
+        print(table4.render())
+    elif args.command == "table5":
+        print(table5.render())
+    elif args.command == "fig8":
+        kwargs = _seeds(args)
+        if args.max_routers is not None:
+            kwargs["max_routers"] = args.max_routers
+        print(fig8.render(fig8.run_fig8(**kwargs)))
+    elif args.command == "export":
+        from .experiments.export import export_all
+
+        kwargs = _seeds(args)
+        kwargs.setdefault("seeds", (2010,))
+        export_all(args.output, **kwargs)
+        print(f"wrote {args.output}")
+    elif args.command == "all":
+        kwargs = _seeds(args)
+        print(table1.render(table1.run_table1(**kwargs)))
+        print()
+        print(table2.render(table2.run_table2(**kwargs)))
+        print()
+        print(table3.render(table3.run_table3(**kwargs)))
+        print()
+        print(table4.render())
+        print()
+        print(table5.render())
+        print()
+        print(fig8.render(fig8.run_fig8(**kwargs)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""The paper's contribution: GSS flow control, SAGM, and system assembly."""
+
+from .gss_filter import SchedulerState, passes_filter, select, tier_conditions
+from .gss_flow_control import (
+    GssFlowController,
+    PfsMemoryFlowController,
+    SdramAwareFlowController,
+)
+from .gss_router import (
+    conventional_controller,
+    design_controller_factory,
+    gss_controller,
+    sdram_aware_controller,
+    sdram_aware_pfs_controller,
+)
+from .sagm import SagmSplitter, split_plan
+from .system import SocSystem, build_system, run_config
+from .tokens import MAX_TOKENS, TokenEntry, TokenTable
+
+__all__ = [
+    "GssFlowController",
+    "MAX_TOKENS",
+    "PfsMemoryFlowController",
+    "SagmSplitter",
+    "SchedulerState",
+    "SdramAwareFlowController",
+    "SocSystem",
+    "TokenEntry",
+    "TokenTable",
+    "build_system",
+    "conventional_controller",
+    "design_controller_factory",
+    "gss_controller",
+    "passes_filter",
+    "run_config",
+    "sdram_aware_controller",
+    "sdram_aware_pfs_controller",
+    "select",
+    "split_plan",
+    "tier_conditions",
+]

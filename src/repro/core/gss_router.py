@@ -1,0 +1,97 @@
+"""Router flow-controller assembly per NoC design (Fig. 3).
+
+Each design in the paper's comparison equips its routers differently:
+
+* CONV — a plain round-robin flow controller;
+* CONV+PFS — priority-first service on every channel;
+* [4] — the Fig. 3 parallel split with the SDRAM-aware scheduler;
+* [4]+PFS — the same with a priority-first bypass in front;
+* GSS / GSS+SAGM — the Fig. 3 split with the GSS flow controller, possibly
+  deployed on only the ``k`` routers nearest the memory corner (Fig. 8),
+  the rest keeping the conventional priority-first/round-robin controller.
+
+:func:`design_controller_factory` builds the ``(node, port) ->
+FlowController`` factory the :class:`~repro.noc.router.Router` consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from ..dram.timing import DramTiming
+from ..noc.flow_control import (
+    DualFlowController,
+    FlowController,
+    PriorityFirstFlowController,
+    RoundRobinFlowController,
+)
+from ..noc.router import ControllerFactory
+from ..noc.topology import Port
+from ..sim.config import NocDesign
+from .gss_flow_control import (
+    GssFlowController,
+    PfsMemoryFlowController,
+    SdramAwareFlowController,
+)
+
+
+def gss_controller(
+    timing: DramTiming, pct: int = 5, sti: bool = False
+) -> DualFlowController:
+    """One GSS channel controller (Fig. 3's parallel organization)."""
+    return DualFlowController(
+        GssFlowController(timing, pct=pct, sti_enabled=sti)
+    )
+
+
+def sdram_aware_controller(timing: DramTiming) -> DualFlowController:
+    """One [4] channel controller."""
+    return DualFlowController(SdramAwareFlowController(timing))
+
+
+def sdram_aware_pfs_controller(timing: DramTiming) -> DualFlowController:
+    """One [4]+PFS channel controller (priority-first bypass in front)."""
+    return DualFlowController(
+        PfsMemoryFlowController(SdramAwareFlowController(timing)),
+        normal_controller=PriorityFirstFlowController(),
+    )
+
+
+def conventional_controller(priority_first: bool) -> FlowController:
+    """The non-GSS router's controller (Fig. 8's replacement baseline)."""
+    if priority_first:
+        return PriorityFirstFlowController()
+    return RoundRobinFlowController()
+
+
+def design_controller_factory(
+    design: NocDesign,
+    timing: DramTiming,
+    gss_nodes: Optional[Iterable[int]] = None,
+    pct: int = 5,
+    sti: bool = False,
+    priority_enabled: bool = False,
+) -> ControllerFactory:
+    """Build the per-router flow-controller factory for ``design``.
+
+    ``gss_nodes`` restricts GSS deployment to specific routers (the Fig. 8
+    sweep); routers outside the set get the conventional priority-first /
+    round-robin controller.
+    """
+    gss_set: Set[int] = set(gss_nodes) if gss_nodes is not None else set()
+
+    def factory(node: int, port: Port) -> FlowController:
+        if design is NocDesign.CONV:
+            return RoundRobinFlowController()
+        if design is NocDesign.CONV_PFS:
+            return PriorityFirstFlowController()
+        if design is NocDesign.SDRAM_AWARE:
+            return sdram_aware_controller(timing)
+        if design is NocDesign.SDRAM_AWARE_PFS:
+            return sdram_aware_pfs_controller(timing)
+        # GSS / GSS+SAGM, possibly partially deployed
+        if node in gss_set:
+            return gss_controller(timing, pct=pct, sti=sti)
+        return conventional_controller(priority_first=priority_enabled)
+
+    return factory

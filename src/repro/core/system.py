@@ -1,0 +1,193 @@
+"""Full-system assembly: application + NoC design + memory subsystem.
+
+:func:`build_system` turns a :class:`~repro.sim.config.SystemConfig` into a
+runnable :class:`SocSystem`:
+
+* the application model's cores are placed on the mesh (Fig. 7);
+* every router gets the flow controllers its design prescribes — including
+  *partial* GSS deployment for the Fig. 8 sweep, where only the ``k``
+  routers closest to the memory corner are GSS and the rest keep the
+  conventional priority-first/round-robin controller;
+* the matching memory subsystem is attached at the memory corner node;
+* with SAGM enabled, every core's network interface splits requests at the
+  SDRAM access granularity and tags the last short packet for
+  auto-precharge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from itertools import count
+from typing import Dict, List, Optional
+
+from ..dram.subsystem import build_memory_subsystem
+from ..dram.timing import DramTiming
+from ..noc.flow_control import FlowController
+from ..noc.interface import CoreInterface, MemoryInterface
+from ..noc.network import MeshNetwork
+from ..noc.routing import RoutingPolicy
+from ..noc.topology import Port
+from ..sim.config import DdrGeneration, NocDesign, SystemConfig
+from ..sim.engine import Simulator
+from ..sim.stats import RunMetrics, StatsCollector
+from ..workloads.apps import get_app_model
+from ..workloads.cores import SyntheticCore
+from ..workloads.mapping import gss_router_order, place
+from .gss_router import design_controller_factory
+from .sagm import SagmSplitter
+
+
+class SocSystem:
+    """A fully wired system ready to simulate."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.stats = StatsCollector(warmup=config.warmup)
+        self.app = get_app_model(config.app)
+        self.placement = place(self.app)
+        self.timing = DramTiming.for_clock(config.ddr, config.clock_mhz)
+        self.device, self.subsystem = build_memory_subsystem(config, self.stats)
+        self.gss_nodes = self._gss_nodes()
+        self.network = MeshNetwork(
+            self.placement.mesh,
+            controller_factory=self._controller_for,
+            buffer_flits=config.link_buffer_flits,
+            local_buffer_flits=config.input_buffer_flits,
+            routing_policy=(
+                RoutingPolicy.WEST_FIRST if config.adaptive_routing
+                else RoutingPolicy.XY
+            ),
+            virtual_channels=config.virtual_channels,
+            # Shallow memory-side sink: flit space for the largest write
+            # packet (64 beats = 32 flits) but only a few request slots.
+            # Deep buffering past the final GSS arbitration point would
+            # turn into a FIFO priority packets cannot overtake.
+            sink_flits={self.placement.memory_node: (36, 4)},
+        )
+        self._request_ids = count()
+        self._packet_ids = count()
+        self.cores: List[SyntheticCore] = []
+        self.core_interfaces: List[CoreInterface] = []
+        self._build_cores()
+        self.memory_interface = MemoryInterface(
+            node=self.placement.memory_node,
+            subsystem=self.subsystem,
+            sink=self.network.local_sink(self.placement.memory_node),
+            injection_buffer=self.network.injection_buffer(self.placement.memory_node),
+            master_nodes={
+                core.master: self.placement.node_of_core(i)
+                for i, core in enumerate(self.cores)
+            },
+            packet_ids=self._packet_ids,
+            # QoS-aware designs dequeue priority read data first (CONV
+            # without PFS has no priority notion anywhere).
+            priority_responses=(
+                config.priority_enabled and config.design is not NocDesign.CONV
+            ),
+        )
+        self.simulator = Simulator()
+        self.simulator.add_all(self.core_interfaces)
+        self.simulator.add(self.network)
+        self.simulator.add(self.memory_interface)
+
+    # ------------------------------------------------------------------ #
+    # Construction details
+    # ------------------------------------------------------------------ #
+
+    def _gss_nodes(self) -> set:
+        """Which routers carry GSS flow controllers."""
+        design = self.config.design
+        if not design.uses_gss_router:
+            return set()
+        order = gss_router_order_for(self)
+        if self.config.num_gss_routers is None:
+            return set(order)
+        return set(order[: self.config.num_gss_routers])
+
+    def _controller_for(self, node: int, port: Port) -> FlowController:
+        factory = design_controller_factory(
+            self.config.design,
+            self.timing,
+            gss_nodes=self.gss_nodes,
+            pct=self.config.pct,
+            sti=self.config.sti,
+            priority_enabled=self.config.priority_enabled,
+        )
+        return factory(node, port)
+
+    #: Workload rate scaling per DDR generation (gap multiplier).  The
+    #: paper pairs each generation with a matching video resolution
+    #: (Section V: e.g. dual DTV does 1280x720 on DDR I, 1920x1088 on
+    #: DDR II, 2560x1600 on DDR III), so the offered load in beats/cycle
+    #: shrinks as the clock rises — resolution grows sub-proportionally
+    #: to frequency.
+    RATE_SCALE = {
+        DdrGeneration.DDR1: 0.95,
+        DdrGeneration.DDR2: 1.0,
+        DdrGeneration.DDR3: 1.4,
+    }
+
+    def _build_cores(self) -> None:
+        splitter = (
+            SagmSplitter(self.config.ddr) if self.config.design.uses_sagm else None
+        )
+        rate_scale = self.RATE_SCALE[self.config.ddr]
+        address_map = _address_map_for(self.timing)
+        for index, spec in enumerate(self.app.cores):
+            # App models are built fresh per system, so scaling in place is
+            # safe and keeps the stream state objects intact.
+            spec = replace(spec, gap_mean=spec.gap_mean * rate_scale)
+            node = self.placement.node_of_core(index)
+            core = SyntheticCore(
+                master=index,
+                spec=spec,
+                address_map=address_map,
+                region_index=index,
+                region_count=len(self.app.cores),
+                request_ids=self._request_ids,
+                seed=self.config.seed,
+                priority_demand=self.config.priority_enabled,
+            )
+            self.cores.append(core)
+            self.core_interfaces.append(
+                CoreInterface(
+                    node=node,
+                    memory_node=self.placement.memory_node,
+                    generator=core,
+                    injection_buffer=self.network.injection_buffer(node),
+                    sink=self.network.local_sink(node),
+                    stats=self.stats,
+                    packet_ids=self._packet_ids,
+                    request_ids=self._request_ids,
+                    splitter=splitter,
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # Running
+    # ------------------------------------------------------------------ #
+
+    def run(self, cycles: Optional[int] = None) -> RunMetrics:
+        total = cycles if cycles is not None else self.config.cycles
+        self.simulator.run(total)
+        return RunMetrics.from_collector(self.stats, self.simulator.cycle)
+
+
+def _address_map_for(timing: DramTiming):
+    from ..dram.address_map import AddressMap
+
+    return AddressMap(banks=timing.banks)
+
+
+def gss_router_order_for(system: SocSystem) -> List[int]:
+    return gss_router_order(system.placement)
+
+
+def build_system(config: SystemConfig) -> SocSystem:
+    """Public entry point: build a runnable system for ``config``."""
+    return SocSystem(config)
+
+
+def run_config(config: SystemConfig) -> RunMetrics:
+    """Build and run ``config``; return its headline metrics."""
+    return build_system(config).run()

@@ -1,0 +1,33 @@
+"""Analytical hardware cost models (Table IV gate count, Table V power)."""
+
+from .gate_count import (
+    ModuleCost,
+    app_aware_memory_subsystem,
+    conv_flow_controller,
+    conv_memory_subsystem,
+    full_noc,
+    gss_flow_controller,
+    router,
+    sdram_aware_flow_controller,
+    sdram_aware_memory_subsystem,
+    table4,
+)
+from .power import APP_MESH_NODES, PowerEstimate, TABLE5_POINTS, estimate_power, table5
+
+__all__ = [
+    "APP_MESH_NODES",
+    "ModuleCost",
+    "PowerEstimate",
+    "TABLE5_POINTS",
+    "app_aware_memory_subsystem",
+    "conv_flow_controller",
+    "conv_memory_subsystem",
+    "estimate_power",
+    "full_noc",
+    "gss_flow_controller",
+    "router",
+    "sdram_aware_flow_controller",
+    "sdram_aware_memory_subsystem",
+    "table4",
+    "table5",
+]

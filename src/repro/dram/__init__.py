@@ -1,0 +1,52 @@
+"""SDRAM substrate: devices, timing, controllers, and memory subsystems."""
+
+from .address_map import AddressMap
+from .bank import Bank, BankState, TimingViolation
+from .commands import CommandKind, DramCommand
+from .controller import CommandEngine, FinishedRequest, PagePolicy, WindowEntry
+from .databahn import DATABAHN_LOOKAHEAD, DatabahnController
+from .device import BurstCompletion, SdramDevice
+from .memmax import MemMaxScheduler, ThreadQueue
+from .protocol import ProtocolChecker, Violation, audit_engine
+from .refresh import RefreshTimer
+from .waveform import WaveformCapture, attach as attach_waveform
+from .request import MemoryRequest, ServiceClass
+from .subsystem import (
+    ConvMemorySubsystem,
+    ThinMemorySubsystem,
+    build_memory_subsystem,
+)
+from .timing import GENERATION_TIMING, AnalogTiming, DramTiming
+
+__all__ = [
+    "AddressMap",
+    "AnalogTiming",
+    "Bank",
+    "BankState",
+    "BurstCompletion",
+    "CommandEngine",
+    "CommandKind",
+    "ConvMemorySubsystem",
+    "DATABAHN_LOOKAHEAD",
+    "DatabahnController",
+    "DramCommand",
+    "DramTiming",
+    "FinishedRequest",
+    "GENERATION_TIMING",
+    "MemMaxScheduler",
+    "MemoryRequest",
+    "PagePolicy",
+    "ProtocolChecker",
+    "RefreshTimer",
+    "Violation",
+    "WaveformCapture",
+    "SdramDevice",
+    "ServiceClass",
+    "ThinMemorySubsystem",
+    "ThreadQueue",
+    "TimingViolation",
+    "WindowEntry",
+    "attach_waveform",
+    "audit_engine",
+    "build_memory_subsystem",
+]

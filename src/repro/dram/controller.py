@@ -1,0 +1,292 @@
+"""SDRAM command engine and page policies.
+
+The paper's memory subsystem (Fig. 6) is a pipeline of PRE / RAS / CAS
+buffers feeding a command scheduler: several requests are in flight at
+different stages so that bank preparation (ACT/PRE) for request *n+1*
+overlaps the data burst of request *n* — the bank-interleaving pipelining of
+Section III-A.  :class:`CommandEngine` models that pipeline as a small
+in-order window:
+
+* CAS commands are issued strictly in request order (in-order service — the
+  reorder decisions were already made upstream, by the NoC routers or by the
+  MemMax front-end);
+* ACT and PRE for younger window entries may issue early, overlapping older
+  bursts, provided they do not steal a row an older un-served entry needs.
+
+Page policies (Section IV-C):
+
+* ``OPEN_PAGE`` — banks stay open; conflicts pay a demand PRE (CONV, [4]);
+* ``CLOSED_PAGE`` — every CAS carries auto-precharge;
+* ``PARTIALLY_OPEN`` — the paper's policy: banks stay open, except a CAS
+  whose request carries the SAGM *AP tag* (last short packet split from a
+  long packet) closes the bank via auto-precharge.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .commands import CommandKind, DramCommand
+from .device import SdramDevice
+from .refresh import RefreshTimer
+from .request import MemoryRequest
+
+
+class PagePolicy(enum.Enum):
+    OPEN_PAGE = "open"
+    CLOSED_PAGE = "closed"
+    PARTIALLY_OPEN = "partially-open"
+
+
+@dataclass
+class WindowEntry:
+    """One request moving through the PRE/RAS/CAS pipeline."""
+
+    request: MemoryRequest
+    accepted_cycle: int
+    beats_remaining: int = field(init=False)
+    next_column: int = field(init=False)
+    bursts_issued: int = 0
+    last_data_end: int = -1
+    required_act: bool = False  # this entry paid for its own row activation
+
+    def __post_init__(self) -> None:
+        self.beats_remaining = self.request.beats
+        self.next_column = self.request.column
+
+    @property
+    def cas_done(self) -> bool:
+        return self.beats_remaining <= 0
+
+
+@dataclass(frozen=True)
+class FinishedRequest:
+    """A request whose final data beat has a known bus cycle."""
+
+    request: MemoryRequest
+    data_ready_cycle: int
+
+
+class CommandEngine:
+    """In-order windowed PRE/RAS/CAS issue engine over one SDRAM device."""
+
+    def __init__(
+        self,
+        device: SdramDevice,
+        burst_beats: int,
+        page_policy: PagePolicy = PagePolicy.OPEN_PAGE,
+        window: int = 4,
+        otf: bool = False,
+        refresh: Optional[RefreshTimer] = None,
+    ) -> None:
+        """``burst_beats`` is the device BL mode; with ``otf`` (DDR III
+        BL4/BL8 on-the-fly) a trailing short chunk uses BL 4 instead.
+        ``refresh`` opts into periodic auto-refresh (off by default, as in
+        the paper's evaluation)."""
+        if window <= 0:
+            raise ValueError("window must be positive")
+        device.timing.validate_burst(burst_beats)
+        self.device = device
+        self.burst_beats = burst_beats
+        self.page_policy = page_policy
+        self.window_size = window
+        self.otf = otf
+        self.refresh = refresh
+        self.entries: List[WindowEntry] = []
+        self.finished: List[FinishedRequest] = []
+        self.demand_precharges = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def has_space(self) -> bool:
+        return len(self.entries) < self.window_size
+
+    def accept(self, request: MemoryRequest, cycle: int) -> None:
+        if not self.has_space:
+            raise RuntimeError("command engine window full")
+        if not 0 <= request.bank < len(self.device.banks):
+            raise ValueError(
+                f"request addresses bank {request.bank} but the device has "
+                f"{len(self.device.banks)} banks"
+            )
+        self.entries.append(WindowEntry(request, cycle))
+
+    @property
+    def pending(self) -> int:
+        return len(self.entries)
+
+    @property
+    def idle(self) -> bool:
+        return not self.entries
+
+    def drain_finished(self) -> List[FinishedRequest]:
+        done, self.finished = self.finished, []
+        return done
+
+    # ------------------------------------------------------------------ #
+    # One command per cycle
+    # ------------------------------------------------------------------ #
+
+    def tick(self, cycle: int) -> Optional[DramCommand]:
+        """Issue at most one command; retire fully-served entries."""
+        if self.refresh is not None and self.refresh.enabled:
+            blocking = self._refresh_tick(cycle)
+            if blocking is not None:
+                return blocking
+            if self.refresh.in_progress(cycle) or self.refresh.due(cycle):
+                return None
+        command = self._choose_command(cycle)
+        if command is not None:
+            completion = self.device.issue(cycle, command)
+            if command.kind.is_cas:
+                entry = self._entry_for(command.request_id)
+                assert entry is not None and completion is not None
+                if entry.bursts_issued == 0 and self.device.stats is not None:
+                    self.device.stats.record_row_outcome(
+                        cycle, hit=not entry.required_act
+                    )
+                entry.bursts_issued += 1
+                entry.beats_remaining -= completion.useful_beats
+                entry.next_column += command.burst_beats
+                entry.last_data_end = completion.data_end
+                if entry.cas_done:
+                    self.finished.append(
+                        FinishedRequest(entry.request, entry.last_data_end)
+                    )
+                    self.entries.remove(entry)
+        return command
+
+    # ------------------------------------------------------------------ #
+    # Refresh handling (opt-in)
+    # ------------------------------------------------------------------ #
+
+    def _refresh_tick(self, cycle: int) -> Optional[DramCommand]:
+        """Drive a due refresh: precharge all banks, wait for quiet, then
+        start the all-bank refresh.  Returns a PRE command when one was
+        issued this cycle (it occupies the command bus)."""
+        assert self.refresh is not None
+        if self.refresh.in_progress(cycle) or not self.refresh.due(cycle):
+            return None
+        # Close any open bank as soon as its timing allows.
+        for bank in self.device.banks:
+            if bank.is_active:
+                command = DramCommand(kind=CommandKind.PRECHARGE, bank=bank.index)
+                if self.device.can_issue(cycle, command):
+                    self.device.issue(cycle, command)
+                    return command
+        quiet = (
+            all(not bank.is_active and bank.auto_precharge_at is None
+                and cycle >= bank.idle_at
+                for bank in self.device.banks)
+            and self.device.data_bus_free_at <= cycle
+        )
+        if quiet:
+            done = self.refresh.start(cycle)
+            for bank in self.device.banks:
+                bank.idle_at = max(bank.idle_at, done + 1)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Command selection: CAS (oldest first) > ACT > PRE
+    # ------------------------------------------------------------------ #
+
+    def _choose_command(self, cycle: int) -> Optional[DramCommand]:
+        cas = self._cas_command(cycle)
+        if cas is not None:
+            return cas
+        act = self._activate_command(cycle)
+        if act is not None:
+            return act
+        return self._precharge_command(cycle)
+
+    def _cas_command(self, cycle: int) -> Optional[DramCommand]:
+        """CAS for the oldest entry whose row is open (in-order data)."""
+        if not self.entries:
+            return None
+        entry = self.entries[0]
+        request = entry.request
+        if not self.device.row_is_open(request.bank, request.row, cycle):
+            return None
+        burst = self._burst_for(entry)
+        useful = min(entry.beats_remaining, burst)
+        last_burst = entry.beats_remaining <= burst
+        command = DramCommand(
+            kind=CommandKind.WRITE if request.is_write else CommandKind.READ,
+            bank=request.bank,
+            row=request.row,
+            column=entry.next_column,
+            burst_beats=burst,
+            auto_precharge=last_burst and self._wants_auto_precharge(request),
+            useful_beats=useful,
+            request_id=request.request_id,
+        )
+        return command if self.device.can_issue(cycle, command) else None
+
+    def _burst_for(self, entry: WindowEntry) -> int:
+        if self.otf and entry.beats_remaining <= 4:
+            return 4
+        return self.burst_beats
+
+    def _wants_auto_precharge(self, request: MemoryRequest) -> bool:
+        if self.page_policy is PagePolicy.CLOSED_PAGE:
+            return True
+        if self.page_policy is PagePolicy.PARTIALLY_OPEN:
+            return request.ap_tag
+        return False
+
+    def _activate_command(self, cycle: int) -> Optional[DramCommand]:
+        """ACT for the first entry whose bank is idle (bank-prep overlap)."""
+        prepared = set()
+        for entry in self.entries:
+            request = entry.request
+            key = request.bank
+            if key in prepared:
+                continue
+            prepared.add(key)
+            if self.device.row_is_open(request.bank, request.row, cycle):
+                continue
+            command = DramCommand(
+                kind=CommandKind.ACTIVATE, bank=request.bank, row=request.row
+            )
+            if self.device.can_issue(cycle, command):
+                entry.required_act = True
+                return command
+        return None
+
+    def _precharge_command(self, cycle: int) -> Optional[DramCommand]:
+        """Demand PRE for a bank conflicting with a window entry's row.
+
+        A bank may not be precharged while an older un-served entry still
+        needs its currently-open row.
+        """
+        handled = set()
+        for index, entry in enumerate(self.entries):
+            request = entry.request
+            if request.bank in handled:
+                continue
+            handled.add(request.bank)
+            bank = self.device.banks[request.bank]
+            if not bank.is_active or bank.open_row == request.row:
+                continue
+            if self._older_entry_needs_row(index, request.bank, bank.open_row):
+                continue
+            command = DramCommand(kind=CommandKind.PRECHARGE, bank=request.bank)
+            if self.device.can_issue(cycle, command):
+                self.demand_precharges += 1
+                return command
+        return None
+
+    def _older_entry_needs_row(self, index: int, bank: int, open_row) -> bool:
+        for other in self.entries[:index]:
+            if other.request.bank == bank and other.request.row == open_row:
+                return True
+        return False
+
+    def _entry_for(self, request_id) -> Optional[WindowEntry]:
+        for entry in self.entries:
+            if entry.request.request_id == request_id:
+                return entry
+        return None

@@ -1,0 +1,198 @@
+"""Cycle-level multi-bank SDRAM device model.
+
+Models the device-global resources the paper's scheduling conditions hinge
+on (Section III-A):
+
+* a single shared **command bus** — one command per cycle, which is what
+  makes short bursts command-bound without auto-precharge (Fig. 5);
+* a single shared bidirectional **data bus** — back-to-back read/write in
+  opposite directions collide, so turnaround gaps (tWTR / read-to-write) are
+  enforced: the paper's *data contention*;
+* per-bank row buffers and activate/precharge timing — *bank conflict* and
+  *short turn-around bank interleaving*;
+* tCCD between CAS commands — why DDR III behaves like BL 8 even when
+  issuing BL 4 bursts (Section V-A).
+
+The device does not interpret addresses or store data — workloads are
+synthetic — but it faithfully accounts when every data beat moves, which is
+what latency and utilization are computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..sim.stats import StatsCollector
+from .bank import Bank, BankState, TimingViolation
+from .commands import CommandKind, DramCommand
+from .timing import DramTiming
+
+
+@dataclass(frozen=True)
+class BurstCompletion:
+    """Outcome of an accepted CAS: when its data finishes on the bus."""
+
+    request_id: Optional[int]
+    is_read: bool
+    data_start: int
+    data_end: int
+    useful_beats: int
+    burst_beats: int
+
+
+class SdramDevice:
+    """One DDR SDRAM device behind a single command/data bus pair."""
+
+    def __init__(self, timing: DramTiming, stats: Optional[StatsCollector] = None):
+        self.timing = timing
+        self.stats = stats
+        self.banks: List[Bank] = [Bank(i, timing) for i in range(timing.banks)]
+        self._last_command_cycle = -1
+        self._next_cas_ok = 0              # tCCD across all banks
+        self._next_act_ok = 0              # tRRD across banks
+        self._bus_free_at = 0              # first cycle the data bus is free
+        self._last_data_was_write = False
+        self._last_write_data_end = -1
+        self._last_read_data_end = -1
+        self._completions: List[BurstCompletion] = []
+        self.issued_commands = 0
+
+    # ------------------------------------------------------------------ #
+    # Legality
+    # ------------------------------------------------------------------ #
+
+    def can_issue(self, cycle: int, command: DramCommand) -> bool:
+        """True iff ``command`` violates no constraint at ``cycle``."""
+        if command.kind is CommandKind.NOP:
+            return True
+        if cycle <= self._last_command_cycle:
+            return False  # one command per cycle on the shared command bus
+        if not 0 <= command.bank < len(self.banks):
+            return False
+        bank = self.banks[command.bank]
+        if command.kind is CommandKind.ACTIVATE:
+            return cycle >= self._next_act_ok and bank.can_activate(cycle)
+        if command.kind is CommandKind.PRECHARGE:
+            return bank.can_precharge(cycle)
+        # READ / WRITE
+        if command.row is not None and not bank.row_is_open(command.row, cycle):
+            return False
+        if command.row is None and bank.state is not BankState.ACTIVE:
+            return False
+        row = command.row if command.row is not None else bank.open_row
+        if row is None or not bank.can_cas(cycle, row):
+            return False
+        if cycle < self._next_cas_ok:
+            return False
+        data_start = cycle + (
+            self.timing.write_latency if command.is_write
+            else self.timing.cas_latency
+        )
+        if data_start < self._bus_free_at:
+            return False
+        if command.is_read and self._last_write_data_end >= 0:
+            # write -> read turnaround (tWTR from last write data beat)
+            if cycle <= self._last_write_data_end + self.timing.t_wtr:
+                return False
+        if command.is_write and self._last_read_data_end >= 0:
+            # read -> write bus turnaround (data contention gap)
+            if data_start <= self._last_read_data_end + self.timing.t_rtw:
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Issue
+    # ------------------------------------------------------------------ #
+
+    def issue(self, cycle: int, command: DramCommand) -> Optional[BurstCompletion]:
+        """Apply ``command`` at ``cycle``; return the burst completion for CAS."""
+        if not self.can_issue(cycle, command):
+            raise TimingViolation(f"cannot issue {command} at cycle {cycle}")
+        if command.kind is CommandKind.NOP:
+            return None
+        self._last_command_cycle = cycle
+        self.issued_commands += 1
+        bank = self.banks[command.bank]
+        if self.stats is not None:
+            self.stats.record_command(cycle, command.kind.value)
+
+        if command.kind is CommandKind.ACTIVATE:
+            assert command.row is not None
+            bank.activate(cycle, command.row)
+            self._next_act_ok = cycle + self.timing.t_rrd
+            return None
+
+        if command.kind is CommandKind.PRECHARGE:
+            bank.precharge(cycle)
+            return None
+
+        # READ / WRITE burst
+        self.timing.validate_burst(command.burst_beats)
+        row = command.row if command.row is not None else bank.open_row
+        assert row is not None
+        burst_cycles = self.timing.burst_cycles(command.burst_beats)
+        latency = (
+            self.timing.write_latency if command.is_write
+            else self.timing.cas_latency
+        )
+        data_start = cycle + latency
+        data_end = data_start + burst_cycles - 1
+        bank.cas(cycle, row, command.is_write, data_end, command.auto_precharge)
+        self._next_cas_ok = cycle + max(self.timing.t_ccd, burst_cycles)
+        self._bus_free_at = data_end + 1
+        if command.is_write:
+            self._last_write_data_end = data_end
+        else:
+            self._last_read_data_end = data_end
+        completion = BurstCompletion(
+            request_id=command.request_id,
+            is_read=command.is_read,
+            data_start=data_start,
+            data_end=data_end,
+            useful_beats=command.useful_beats,
+            burst_beats=command.burst_beats,
+        )
+        self._completions.append(completion)
+        if self.stats is not None:
+            self._account_burst(completion)
+        return completion
+
+    def _account_burst(self, completion: BurstCompletion) -> None:
+        """Spread the burst's useful/total beats over its bus cycles."""
+        assert self.stats is not None
+        cycles = completion.data_end - completion.data_start + 1
+        remaining_useful = completion.useful_beats
+        remaining_total = completion.burst_beats
+        for offset in range(cycles):
+            beats = min(2, remaining_total)
+            useful = min(beats, remaining_useful)
+            self.stats.record_bus_cycle(
+                completion.data_start + offset, useful, beats
+            )
+            remaining_total -= beats
+            remaining_useful -= useful
+
+    # ------------------------------------------------------------------ #
+    # Observation helpers
+    # ------------------------------------------------------------------ #
+
+    def tick(self, cycle: int) -> None:
+        """Per-cycle accounting (observed-cycle counter for utilization)."""
+        if self.stats is not None:
+            self.stats.record_idle_cycle(cycle)
+
+    def row_is_open(self, bank: int, row: int, cycle: int) -> bool:
+        return self.banks[bank].row_is_open(row, cycle)
+
+    def bank_state(self, bank: int) -> BankState:
+        return self.banks[bank].state
+
+    def drain_completions(self) -> List[BurstCompletion]:
+        """Return and clear the bursts accepted since the last drain."""
+        done, self._completions = self._completions, []
+        return done
+
+    @property
+    def data_bus_free_at(self) -> int:
+        return self._bus_free_at

@@ -1,0 +1,212 @@
+"""Memory subsystem assemblies.
+
+Three subsystems appear in the paper's evaluation:
+
+* :class:`ConvMemorySubsystem` — the conventional design: a MemMax-style
+  4-thread reordering scheduler in front of a Databahn-style lookahead
+  controller, with per-thread 32-flit request and data buffers (Section V);
+* :class:`ThinMemorySubsystem` with ``OPEN_PAGE`` — the SDRAM-aware design
+  [4]: memory requests arrive already scheduled by the NoC routers, so the
+  subsystem is a simple in-order controller with no reorder buffers;
+* :class:`ThinMemorySubsystem` with ``PARTIALLY_OPEN`` + SAGM burst mode —
+  the paper's Fig. 6 controller: partially-open-page policy driven by the
+  SAGM auto-precharge tags (BL 4 mode on DDR I/II, BL 4/8 OTF on DDR III).
+
+All subsystems expose the same interface to the memory-side network
+interface: ``can_accept`` / ``enqueue`` for admission with backpressure,
+``tick`` issuing at most one SDRAM command per cycle, and
+``drain_finished`` reporting requests whose final data beat has completed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..sim.config import DdrGeneration, NocDesign, SystemConfig
+from ..sim.stats import StatsCollector
+from .controller import CommandEngine, FinishedRequest, PagePolicy
+from .databahn import DatabahnController
+from .device import SdramDevice
+from .memmax import MemMaxScheduler
+from .request import MemoryRequest
+from .timing import DramTiming
+
+
+class ThinMemorySubsystem:
+    """In-order SDRAM controller with a small input FIFO (Fig. 6 shell)."""
+
+    def __init__(
+        self,
+        device: SdramDevice,
+        burst_beats: int = 8,
+        page_policy: PagePolicy = PagePolicy.OPEN_PAGE,
+        otf: bool = False,
+        input_capacity: int = 4,
+        window: int = 4,
+    ) -> None:
+        if input_capacity <= 0:
+            raise ValueError("input_capacity must be positive")
+        self.device = device
+        self.engine = CommandEngine(
+            device,
+            burst_beats=burst_beats,
+            page_policy=page_policy,
+            window=window,
+            otf=otf,
+        )
+        self.input_capacity = input_capacity
+        self.queue: Deque[MemoryRequest] = deque()
+        self.accepted = 0
+
+    def can_accept(self, request: MemoryRequest) -> bool:
+        return len(self.queue) < self.input_capacity
+
+    def enqueue(self, request: MemoryRequest, cycle: int) -> None:
+        if not self.can_accept(request):
+            raise RuntimeError("memory subsystem input queue full")
+        self.queue.append(request)
+        self.accepted += 1
+
+    def tick(self, cycle: int) -> None:
+        while self.queue and self.engine.has_space:
+            self.engine.accept(self.queue.popleft(), cycle)
+        self.engine.tick(cycle)
+        self.device.tick(cycle)
+
+    def drain_finished(self) -> List[FinishedRequest]:
+        return self.engine.drain_finished()
+
+    @property
+    def pending(self) -> int:
+        return len(self.queue) + self.engine.pending
+
+    @property
+    def idle(self) -> bool:
+        return self.pending == 0
+
+
+class ConvMemorySubsystem:
+    """MemMax thread scheduler + Databahn lookahead controller (CONV).
+
+    Beyond the arbitration itself, the thread-based pipeline costs latency:
+    requests are decoded into per-thread request/data buffers, arbitrated,
+    and handed to the Databahn, and read data is staged through the thread
+    data buffers (store-and-forward) before re-entering the NoC.  That is
+    modelled as ``PIPELINE_LATENCY`` fixed cycles plus the data-buffer
+    store time of each read response — overhead the paper's thin Fig. 6
+    subsystem avoids, and one reason CONV's memory latency is the worst of
+    the compared designs (Tables I/II).
+    """
+
+    #: Fixed thread-pipeline cycles (ingress decode + arbitration + egress).
+    PIPELINE_LATENCY = 12
+
+    def __init__(
+        self,
+        device: SdramDevice,
+        burst_beats: int = 8,
+        priority_first: bool = False,
+        threads: int = 4,
+        thread_capacity_flits: int = 32,
+    ) -> None:
+        self.device = device
+        self.scheduler = MemMaxScheduler(
+            threads=threads,
+            thread_capacity_flits=thread_capacity_flits,
+            priority_first=priority_first,
+        )
+        self.engine = DatabahnController(device, burst_beats=burst_beats)
+        self.accepted = 0
+
+    def can_accept(self, request: MemoryRequest) -> bool:
+        return self.scheduler.can_accept(request)
+
+    def enqueue(self, request: MemoryRequest, cycle: int) -> None:
+        self.scheduler.push(request)
+        self.accepted += 1
+
+    def tick(self, cycle: int) -> None:
+        while self.engine.has_space:
+            request = self.scheduler.pop_next()
+            if request is None:
+                break
+            self.engine.accept(request, cycle)
+        self.engine.tick(cycle)
+        self.device.tick(cycle)
+
+    def drain_finished(self) -> List[FinishedRequest]:
+        finished = []
+        for item in self.engine.drain_finished():
+            # request/response data staged through the thread data buffers
+            staging = (item.request.beats + 1) // 2
+            finished.append(
+                FinishedRequest(
+                    item.request,
+                    item.data_ready_cycle + self.PIPELINE_LATENCY + staging,
+                )
+            )
+        return finished
+
+    @property
+    def pending(self) -> int:
+        return self.scheduler.pending + self.engine.pending
+
+    @property
+    def idle(self) -> bool:
+        return self.pending == 0
+
+
+def build_memory_subsystem(
+    config: SystemConfig, stats: Optional[StatsCollector] = None
+):
+    """Construct device + subsystem matching ``config.design`` (Section V)."""
+    timing = DramTiming.for_clock(config.ddr, config.clock_mhz)
+    device = SdramDevice(timing, stats=stats)
+    design = config.design
+    if design in (NocDesign.CONV, NocDesign.CONV_PFS):
+        subsystem = ConvMemorySubsystem(
+            device,
+            burst_beats=8,
+            priority_first=design is NocDesign.CONV_PFS,
+        )
+    elif design.uses_sagm:
+        if config.ddr is DdrGeneration.DDR3:
+            # DDR III: BL 8 with BL4/BL8 on-the-fly for trailing chunks.
+            burst, otf = 8, True
+        else:
+            # DDR I/II: device dropped to BL 4 mode via MRS.
+            burst, otf = 4, False
+        # Short packets carry fewer data cycles each, so the PRE/RAS/CAS
+        # pipeline holds proportionally more of them to keep the same
+        # data-time lookahead (entries are a few address bits each — far
+        # cheaper than the reorder buffers the design removes).
+        depth = _window_for(timing, burst)
+        subsystem = ThinMemorySubsystem(
+            device,
+            burst_beats=burst,
+            page_policy=PagePolicy.PARTIALLY_OPEN,
+            otf=otf,
+            window=depth,
+            input_capacity=max(2, depth // 2),
+        )
+    else:
+        # [4] and plain GSS: thin in-order controller, BL 8, open page.
+        depth = _window_for(timing, 8)
+        subsystem = ThinMemorySubsystem(
+            device,
+            burst_beats=8,
+            page_policy=PagePolicy.OPEN_PAGE,
+            window=depth,
+            input_capacity=max(2, depth // 2),
+        )
+    return device, subsystem
+
+
+#: Data-time the thin controller's PRE/RAS/CAS pipeline looks ahead, in
+#: data-bus cycles; window entries = lookahead / burst data cycles.
+PIPELINE_LOOKAHEAD_DATA_CYCLES = 16
+
+
+def _window_for(timing: DramTiming, burst_beats: int) -> int:
+    return max(4, PIPELINE_LOOKAHEAD_DATA_CYCLES // timing.burst_cycles(burst_beats))

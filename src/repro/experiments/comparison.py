@@ -1,0 +1,94 @@
+"""Shared machinery for the Table I / Table II design comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from ..sim.config import DdrGeneration, NocDesign, PAPER_CLOCK_POINTS
+from .runner import AveragedMetrics, DEFAULT_SEEDS, experiment_config, run_averaged
+
+#: Metric keys reported per design in Tables I-III.
+METRICS = ("utilization", "latency_all", "latency_demand")
+
+
+@dataclass
+class ComparisonCell:
+    """One (application, clock, design) measurement."""
+
+    app: str
+    ddr: DdrGeneration
+    clock_mhz: int
+    design: NocDesign
+    metrics: AveragedMetrics
+
+    def value(self, metric: str) -> float:
+        return getattr(self.metrics, metric)
+
+
+@dataclass
+class ComparisonResult:
+    """All cells of one comparison plus derived averages/ratios."""
+
+    designs: List[NocDesign]
+    cells: List[ComparisonCell] = field(default_factory=list)
+
+    def cell(self, app: str, ddr: DdrGeneration, design: NocDesign) -> ComparisonCell:
+        for cell in self.cells:
+            if cell.app == app and cell.ddr == ddr and cell.design == design:
+                return cell
+        raise KeyError((app, ddr, design))
+
+    def averages(self) -> Dict[NocDesign, Dict[str, float]]:
+        result: Dict[NocDesign, Dict[str, float]] = {}
+        for design in self.designs:
+            cells = [c for c in self.cells if c.design == design]
+            result[design] = {
+                metric: sum(c.value(metric) for c in cells) / len(cells)
+                for metric in METRICS
+            }
+        return result
+
+    def ratios(self, baseline: NocDesign) -> Dict[NocDesign, Dict[str, float]]:
+        """The paper's 'Ratio' row: averages normalized to ``baseline``."""
+        averages = self.averages()
+        base = averages[baseline]
+        return {
+            design: {
+                metric: (values[metric] / base[metric] if base[metric] else 0.0)
+                for metric in METRICS
+            }
+            for design, values in averages.items()
+        }
+
+
+def run_comparison(
+    designs: Sequence[NocDesign],
+    priority: bool,
+    cycles: int | None = None,
+    warmup: int | None = None,
+    seeds: Iterable[int] = DEFAULT_SEEDS,
+) -> ComparisonResult:
+    """Simulate every (app x DDR generation x design) cell of Section V."""
+    result = ComparisonResult(designs=list(designs))
+    overrides = {}
+    if cycles is not None:
+        overrides["cycles"] = cycles
+    if warmup is not None:
+        overrides["warmup"] = warmup
+    for app, points in PAPER_CLOCK_POINTS.items():
+        for ddr, mhz in points.items():
+            for design in designs:
+                config = experiment_config(
+                    app=app,
+                    ddr=ddr,
+                    clock_mhz=mhz,
+                    design=design,
+                    priority_enabled=priority,
+                    **overrides,
+                )
+                metrics = run_averaged(config, seeds=seeds)
+                result.cells.append(
+                    ComparisonCell(app, ddr, mhz, design, metrics)
+                )
+    return result

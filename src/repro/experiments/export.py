@@ -1,0 +1,103 @@
+"""Machine-readable export of the experiment results.
+
+Dumps every exhibit's data to a single JSON document so downstream tools
+(plotting scripts, CI dashboards, regression trackers) can consume the
+reproduction without scraping the text tables.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Union
+
+from ..sim.config import NocDesign
+from .comparison import ComparisonResult, METRICS
+from .fig8 import Fig8Curve, run_fig8
+from .runner import DEFAULT_SEEDS
+from .table1 import run_table1
+from .table2 import Table2Result, run_table2
+from .table3 import Table3Row, run_table3
+from .table4 import run_table4
+from .table5 import run_table5
+
+
+def comparison_to_dict(result: ComparisonResult) -> Dict:
+    cells = [
+        {
+            "app": cell.app,
+            "ddr": cell.ddr.value,
+            "clock_mhz": cell.clock_mhz,
+            "design": cell.design.value,
+            **{metric: cell.value(metric) for metric in METRICS},
+        }
+        for cell in result.cells
+    ]
+    averages = {
+        design.value: values for design, values in result.averages().items()
+    }
+    return {"cells": cells, "averages": averages}
+
+
+def table2_to_dict(result: Table2Result) -> Dict:
+    data = comparison_to_dict(result.comparison)
+    data["baseline_table1_sdram_aware"] = result.baseline_averages
+    data["ratios_vs_table1_baseline"] = {
+        design.value: values for design, values in result.ratios().items()
+    }
+    return data
+
+
+def table3_to_dict(rows: Iterable[Table3Row]) -> Dict:
+    return {
+        "rows": [
+            {
+                "app": row.app,
+                "clock_mhz": row.clock_mhz,
+                "utilization": row.with_sti.utilization,
+                "utilization_improvement": row.utilization_improvement,
+                "latency": row.with_sti.latency_all,
+                "latency_improvement": row.latency_improvement,
+                "priority_latency": row.with_sti.latency_demand,
+                "priority_latency_improvement": row.priority_latency_improvement,
+            }
+            for row in rows
+        ]
+    }
+
+
+def fig8_to_dict(curves: Iterable[Fig8Curve]) -> Dict:
+    return {
+        "curves": [
+            {
+                "app": curve.app,
+                "ddr": curve.ddr.value,
+                "clock_mhz": curve.clock_mhz,
+                "gss_routers": curve.gss_router_counts,
+                "utilization": curve.utilization,
+                "latency_all": curve.latency_all,
+                "latency_priority": curve.latency_priority,
+            }
+            for curve in curves
+        ]
+    }
+
+
+def export_all(
+    path: Union[str, Path],
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
+    seeds=DEFAULT_SEEDS,
+) -> Dict:
+    """Run every exhibit and write one JSON document to ``path``."""
+    kwargs = dict(cycles=cycles, warmup=warmup, seeds=seeds)
+    document = {
+        "table1": comparison_to_dict(run_table1(**kwargs)),
+        "table2": table2_to_dict(run_table2(**kwargs)),
+        "table3": table3_to_dict(run_table3(**kwargs)),
+        "table4": run_table4(),
+        "table5": run_table5(),
+        "fig8": fig8_to_dict(run_fig8(**kwargs)),
+    }
+    Path(path).write_text(json.dumps(document, indent=1))
+    return document

@@ -1,0 +1,77 @@
+"""Experiment runner: simulate configurations and aggregate metrics.
+
+The paper simulates each configuration for one million cycles of Verilog
+RTL; a pure-Python cycle-level model is ~10^3x slower, so the default here
+is 20 000 cycles with a 3 000-cycle warmup, optionally averaged over
+several workload seeds.  The reported metrics are time-averages that are
+stable well below that horizon; ``EXPERIMENTS.md`` records the residual
+run-to-run spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from ..core.system import build_system
+from ..sim.config import SystemConfig
+from ..sim.records import RunResult
+from ..sim.stats import RunMetrics
+
+#: Default experiment horizon (cycles) and warmup.
+DEFAULT_CYCLES = 20_000
+DEFAULT_WARMUP = 3_000
+DEFAULT_SEEDS = (2010, 2011)
+
+
+@dataclass(frozen=True)
+class AveragedMetrics:
+    """Seed-averaged metrics for one configuration."""
+
+    utilization: float
+    raw_utilization: float
+    latency_all: float
+    latency_demand: float
+    completed: float
+    row_hit_rate: float
+    runs: int
+
+    @classmethod
+    def from_runs(cls, runs: Sequence[RunMetrics]) -> "AveragedMetrics":
+        if not runs:
+            raise ValueError("no runs to average")
+        n = len(runs)
+        return cls(
+            utilization=sum(r.utilization for r in runs) / n,
+            raw_utilization=sum(r.raw_utilization for r in runs) / n,
+            latency_all=sum(r.latency_all for r in runs) / n,
+            latency_demand=sum(r.latency_demand for r in runs) / n,
+            completed=sum(r.completed for r in runs) / n,
+            row_hit_rate=sum(r.row_hit_rate for r in runs) / n,
+            runs=n,
+        )
+
+
+def run_once(config: SystemConfig) -> RunResult:
+    """Build and simulate one configuration."""
+    system = build_system(config)
+    metrics = system.run()
+    return RunResult(config=config, metrics=metrics)
+
+
+def run_averaged(
+    config: SystemConfig,
+    seeds: Iterable[int] = DEFAULT_SEEDS,
+) -> AveragedMetrics:
+    """Run ``config`` once per seed and average the headline metrics."""
+    runs: List[RunMetrics] = []
+    for seed in seeds:
+        runs.append(run_once(config.with_(seed=seed)).metrics)
+    return AveragedMetrics.from_runs(runs)
+
+
+def experiment_config(**overrides) -> SystemConfig:
+    """A SystemConfig with the experiment-default horizon applied."""
+    overrides.setdefault("cycles", DEFAULT_CYCLES)
+    overrides.setdefault("warmup", DEFAULT_WARMUP)
+    return SystemConfig(**overrides)

@@ -1,0 +1,64 @@
+"""Run-to-run spread measurement.
+
+The paper runs each configuration once for 1 M cycles; this reproduction
+uses much shorter horizons, so every reported comparison carries sampling
+noise.  :func:`measure_spread` quantifies it: one configuration, many
+workload seeds, mean and standard deviation per metric — the numbers
+EXPERIMENTS.md's error bars come from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..core.system import run_config
+from ..sim.config import SystemConfig
+
+METRIC_NAMES = ("utilization", "latency_all", "latency_demand")
+
+
+@dataclass(frozen=True)
+class MetricSpread:
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    samples: int
+
+    @property
+    def relative_stdev(self) -> float:
+        return self.stdev / self.mean if self.mean else 0.0
+
+
+def measure_spread(
+    config: SystemConfig, seeds: Sequence[int]
+) -> Dict[str, MetricSpread]:
+    """Simulate ``config`` once per seed; return per-metric spread."""
+    if len(seeds) < 2:
+        raise ValueError("need at least two seeds to measure spread")
+    runs = [run_config(config.with_(seed=seed)) for seed in seeds]
+    spread: Dict[str, MetricSpread] = {}
+    for name in METRIC_NAMES:
+        values = [getattr(run, name) for run in runs]
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        spread[name] = MetricSpread(
+            mean=mean,
+            stdev=math.sqrt(variance),
+            minimum=min(values),
+            maximum=max(values),
+            samples=len(values),
+        )
+    return spread
+
+
+def render(spread: Dict[str, MetricSpread]) -> str:
+    lines = [f"{'metric':16s} {'mean':>9s} {'stdev':>8s} {'min':>9s} {'max':>9s}"]
+    for name, stats in spread.items():
+        lines.append(
+            f"{name:16s} {stats.mean:9.3f} {stats.stdev:8.3f} "
+            f"{stats.minimum:9.3f} {stats.maximum:9.3f}"
+        )
+    return "\n".join(lines)

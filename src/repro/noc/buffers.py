@@ -1,0 +1,191 @@
+"""Wormhole input buffering with flit-granular credits.
+
+A packet occupies an :class:`InputBuffer` as a :class:`FlitEntry` whose
+flits stream in from the upstream link (1 flit/cycle) and stream out to the
+next link, possibly concurrently (cut-through): ``received`` counts flits
+committed into the buffer, ``sent`` counts flits already forwarded.  The
+buffer is in-order — only the head entry may be forwarded — matching the
+paper's wormhole input buffers, and occupancy (``received - sent`` summed
+over entries) is bounded by the capacity in flits, which is the credit the
+upstream output scheduler checks before moving a flit.
+
+Entries become arbitration candidates as soon as their head flit is
+present; a 64-BL enhancer packet therefore pipelines across hops instead of
+being stored and forwarded, while still monopolizing each channel it holds
+under winner-take-all allocation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from .packet import Packet
+
+
+class FlitEntry:
+    """One packet's presence in a buffer (possibly partially arrived)."""
+
+    __slots__ = ("packet", "received", "sent", "claimed", "retiring")
+
+    def __init__(self, packet: Packet, received: int = 0) -> None:
+        self.packet = packet
+        self.received = received
+        self.sent = 0
+        self.claimed = False   # an output transfer owns this entry
+        self.retiring = False  # its final flit is planned to move this cycle
+
+    @property
+    def resident_flits(self) -> int:
+        return self.received - self.sent
+
+    @property
+    def fully_received(self) -> bool:
+        return self.received >= self.packet.size_flits
+
+    @property
+    def fully_sent(self) -> bool:
+        return self.sent >= self.packet.size_flits
+
+    def __repr__(self) -> str:
+        return (
+            f"FlitEntry({self.packet}, received={self.received}, "
+            f"sent={self.sent}, claimed={self.claimed})"
+        )
+
+
+class InputBuffer:
+    """Bounded in-order wormhole buffer (one writer, one reader)."""
+
+    def __init__(self, capacity_flits: int, max_packets: Optional[int] = None) -> None:
+        """``max_packets`` additionally bounds how many packets may occupy
+        the buffer at once (a request-queue depth, as in a slave NI)."""
+        if capacity_flits <= 0:
+            raise ValueError("capacity must be positive")
+        if max_packets is not None and max_packets <= 0:
+            raise ValueError("max_packets must be positive")
+        self.capacity_flits = capacity_flits
+        self.max_packets = max_packets
+        self.entries: Deque[FlitEntry] = deque()
+        self._arrivals: List[Packet] = []
+        self._reserved_slots = 0
+
+    # ------------------------------------------------------------------ #
+    # Upstream (writer) side
+    # ------------------------------------------------------------------ #
+
+    @property
+    def occupancy_flits(self) -> int:
+        return sum(entry.resident_flits for entry in self.entries)
+
+    @property
+    def free_flits(self) -> int:
+        return self.capacity_flits - self.occupancy_flits
+
+    def has_credit(self) -> bool:
+        """May the upstream link commit one more flit here?"""
+        return self.free_flits >= 1
+
+    def can_open_entry(self) -> bool:
+        """May a new packet begin arriving (flit credit + packet slot)?"""
+        if (
+            self.max_packets is not None
+            and len(self.entries) + self._reserved_slots >= self.max_packets
+        ):
+            return False
+        return self.has_credit()
+
+    def reserve_slot(self) -> None:
+        """Claim a packet slot at arbitration time (consumed by the
+        matching :meth:`open_entry` when the first flit commits)."""
+        if not self.can_open_entry():
+            raise RuntimeError("slot reservation without a free slot")
+        self._reserved_slots += 1
+
+    def open_entry(self, packet: Packet) -> FlitEntry:
+        """Start receiving ``packet`` (wormhole: head flit not yet here)."""
+        if self._reserved_slots > 0:
+            self._reserved_slots -= 1
+        elif self.max_packets is not None and len(self.entries) >= self.max_packets:
+            raise RuntimeError("packet slots exhausted")
+        entry = FlitEntry(packet)
+        self.entries.append(entry)
+        self._arrivals.append(packet)
+        return entry
+
+    def commit_flit(self, entry: FlitEntry) -> None:
+        """One flit of ``entry`` arrived (end-of-cycle commit)."""
+        if entry.fully_received:
+            raise RuntimeError("flit committed past end of packet")
+        if not self.has_credit():
+            raise RuntimeError("flit committed without credit")
+        entry.received += 1
+
+    def push_complete(self, packet: Packet) -> None:
+        """Inject a whole packet at once (local NI injection)."""
+        if self.free_flits < packet.size_flits:
+            raise RuntimeError("injection without room for the whole packet")
+        entry = FlitEntry(packet, received=packet.size_flits)
+        self.entries.append(entry)
+        self._arrivals.append(packet)
+
+    def can_inject(self, packet: Packet) -> bool:
+        if (
+            self.max_packets is not None
+            and len(self.entries) + self._reserved_slots >= self.max_packets
+        ):
+            return False
+        return self.free_flits >= packet.size_flits
+
+    # ------------------------------------------------------------------ #
+    # Downstream (reader) side
+    # ------------------------------------------------------------------ #
+
+    def head(self) -> Optional[FlitEntry]:
+        return self.entries[0] if self.entries else None
+
+    def head_candidate(self) -> Optional[FlitEntry]:
+        """The first arbitratable entry: head flit present, not owned by a
+        transfer.  When the head's final flit is already planned to depart
+        this cycle (``retiring``), the entry behind it is exposed — the way
+        a real router presents the next packet as the tail flit leaves, so
+        short packets chain without a bubble per hop."""
+        if not self.entries:
+            return None
+        head = self.entries[0]
+        if head.claimed:
+            if not head.retiring or len(self.entries) < 2:
+                return None
+            head = self.entries[1]
+            if head.claimed:
+                return None
+        if head.received < 1:
+            return None
+        return head
+
+    def retire_head(self) -> Packet:
+        """Remove the fully-forwarded head entry."""
+        head = self.head()
+        if head is None or not head.fully_sent:
+            raise RuntimeError("retiring an unfinished head entry")
+        self.entries.popleft()
+        return head.packet
+
+    def pop_complete(self) -> Optional[Packet]:
+        """Consume the head packet if fully received (local NI ejection)."""
+        head = self.head()
+        if head is None or head.claimed or not head.fully_received:
+            return None
+        self.entries.popleft()
+        return head.packet
+
+    def drain_arrivals(self) -> List[Packet]:
+        """Packets whose head entered since the last drain (token hooks)."""
+        arrivals, self._arrivals = self._arrivals, []
+        return arrivals
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)

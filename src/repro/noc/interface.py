@@ -1,0 +1,237 @@
+"""Network interfaces: core-side (master) and memory-side (slave).
+
+The core-side :class:`CoreInterface` pulls requests from a traffic
+generator, optionally splits them per SAGM, injects request packets into
+its router's LOCAL input buffer, and reassembles the split responses —
+recording each *original* request's latency when its last response part
+arrives (request creation to final data delivery, in memory-clock cycles,
+matching the paper's latency metric).
+
+The memory-side :class:`MemoryInterface` admits request packets into the
+memory subsystem with backpressure, ticks the subsystem, and turns finished
+requests into response packets (read data or write acknowledge) injected
+back into the mesh once their final data beat has left the SDRAM bus.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Dict, Iterator, List, Optional, Protocol, Tuple
+
+from ..dram.request import MemoryRequest
+from ..sim.stats import StatsCollector
+from .buffers import InputBuffer
+from .packet import Packet, request_packet, response_packet
+
+
+class TrafficGenerator(Protocol):
+    """A core's memory-traffic model (see :mod:`repro.workloads.cores`)."""
+
+    master: int
+
+    def generate(self, cycle: int) -> List[MemoryRequest]:
+        """New requests issued this cycle."""
+
+    def on_complete(self, request_id: int, cycle: int) -> None:
+        """A previously issued request finished (frees an outstanding slot)."""
+
+
+class Splitter(Protocol):
+    """SAGM splitter interface (see :class:`repro.core.sagm.SagmSplitter`)."""
+
+    def split(self, request: MemoryRequest, id_source: Iterator[int]) -> List[MemoryRequest]:
+        ...
+
+
+class _Reassembly:
+    """Tracks outstanding parts of one (possibly split) request."""
+
+    __slots__ = ("original", "remaining")
+
+    def __init__(self, original: MemoryRequest, parts: int) -> None:
+        self.original = original
+        self.remaining = parts
+
+
+class CoreInterface:
+    """Master-side NI for one core node."""
+
+    def __init__(
+        self,
+        node: int,
+        memory_node: int,
+        generator: TrafficGenerator,
+        injection_buffer: InputBuffer,
+        sink: InputBuffer,
+        stats: StatsCollector,
+        packet_ids: Iterator[int],
+        request_ids: Iterator[int],
+        splitter: Optional[Splitter] = None,
+    ) -> None:
+        self.node = node
+        self.memory_node = memory_node
+        self.generator = generator
+        self.injection_buffer = injection_buffer
+        self.sink = sink
+        self.stats = stats
+        self.packet_ids = packet_ids
+        self.request_ids = request_ids
+        self.splitter = splitter
+        self._pending: List[Packet] = []
+        self._reassembly: Dict[int, _Reassembly] = {}
+        self.injected_packets = 0
+        self.completed_requests = 0
+
+    def tick(self, cycle: int) -> None:
+        self._receive(cycle)
+        self._generate(cycle)
+        self._inject()
+
+    # ------------------------------------------------------------------ #
+
+    def _receive(self, cycle: int) -> None:
+        while True:
+            packet = self.sink.pop_complete()
+            if packet is None:
+                break
+            request = packet.request
+            assert request is not None and packet.is_response
+            parent = request.parent_id if request.parent_id is not None else request.request_id
+            tracker = self._reassembly.get(parent)
+            if tracker is None:
+                raise RuntimeError(f"response for unknown request {parent}")
+            tracker.remaining -= 1
+            if tracker.remaining == 0:
+                original = tracker.original
+                del self._reassembly[parent]
+                self.stats.record_completion(
+                    cycle,
+                    original.issued_cycle,
+                    original.master,
+                    original.is_demand,
+                )
+                self.generator.on_complete(original.request_id, cycle)
+                self.completed_requests += 1
+
+    def _generate(self, cycle: int) -> None:
+        for request in self.generator.generate(cycle):
+            request.issued_cycle = cycle
+            if self.splitter is not None:
+                parts = self.splitter.split(request, self.request_ids)
+            else:
+                parts = [request]
+            self._reassembly[request.request_id] = _Reassembly(request, len(parts))
+            for part in parts:
+                self._pending.append(
+                    request_packet(
+                        next(self.packet_ids), part, self.node, self.memory_node, cycle
+                    )
+                )
+
+    def _inject(self) -> None:
+        while self._pending:
+            packet = self._pending[0]
+            if not self.injection_buffer.can_inject(packet):
+                break
+            self.injection_buffer.push_complete(packet)
+            self._pending.pop(0)
+            self.injected_packets += 1
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._reassembly)
+
+
+class MemoryInterface:
+    """Slave-side NI wrapping the memory subsystem at the memory node."""
+
+    def __init__(
+        self,
+        node: int,
+        subsystem,
+        sink: InputBuffer,
+        injection_buffer: InputBuffer,
+        master_nodes: Dict[int, int],
+        packet_ids: Iterator[int],
+        priority_responses: bool = False,
+    ) -> None:
+        """With ``priority_responses`` the NI injects ready responses for
+        priority requests ahead of best-effort ones (the output buffer of
+        Fig. 6 builds service packets; a QoS-aware NI dequeues priority
+        data first).  Response reordering is safe: masters reassemble
+        split responses by part count, not order."""
+        self.node = node
+        self.subsystem = subsystem
+        self.sink = sink
+        self.injection_buffer = injection_buffer
+        self.master_nodes = master_nodes
+        self.packet_ids = packet_ids
+        self.priority_responses = priority_responses
+        self._ready: List[Tuple[int, int, int, MemoryRequest]] = []  # heap
+        self._sequence = count()
+        self.admitted = 0
+        self.responses_sent = 0
+
+    def tick(self, cycle: int) -> None:
+        self._admit(cycle)
+        self.subsystem.tick(cycle)
+        for finished in self.subsystem.drain_finished():
+            ready = max(cycle + 1, finished.data_ready_cycle + 1)
+            rank = (
+                0 if self.priority_responses and finished.request.is_priority
+                else 1
+            )
+            heapq.heappush(
+                self._ready,
+                (ready, rank, next(self._sequence), finished.request),
+            )
+        self._respond(cycle)
+
+    def _admit(self, cycle: int) -> None:
+        while True:
+            head = self.sink.head()
+            if head is None or head.claimed or not head.fully_received:
+                break
+            request = head.packet.request
+            assert request is not None
+            if not self.subsystem.can_accept(request):
+                break
+            self.sink.pop_complete()
+            self.subsystem.enqueue(request, cycle)
+            self.admitted += 1
+
+    def _respond(self, cycle: int) -> None:
+        if self.priority_responses:
+            self._promote_ready_priority(cycle)
+        while self._ready and self._ready[0][0] <= cycle:
+            _, _, _, request = self._ready[0]
+            dst = self.master_nodes[request.master]
+            packet = response_packet(
+                next(self.packet_ids), request, self.node, dst, cycle
+            )
+            if not self.injection_buffer.can_inject(packet):
+                break
+            heapq.heappop(self._ready)
+            self.injection_buffer.push_complete(packet)
+            self.responses_sent += 1
+
+    def _promote_ready_priority(self, cycle: int) -> None:
+        """Among responses whose data is ready, inject priority ones first
+        (they would otherwise queue in ready-time order)."""
+        ready_now = [item for item in self._ready if item[0] <= cycle]
+        if not ready_now:
+            return
+        best = min(ready_now, key=lambda item: (item[1], item[0], item[2]))
+        if best[1] == 0 and best is not self._ready[0]:
+            self._ready.remove(best)
+            heapq.heapify(self._ready)
+            heapq.heappush(self._ready, (cycle, best[1], best[2], best[3]))
+
+    @property
+    def idle(self) -> bool:
+        return (
+            self.sink.head() is None
+            and self.subsystem.idle
+            and not self._ready
+        )

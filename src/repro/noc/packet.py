@@ -1,0 +1,116 @@
+"""NoC packets.
+
+Packets carry either a memory request toward the memory subsystem or a
+memory response (read data / write acknowledge) back to the master.  Per
+Section IV-C, request/response packets in the paper's OCP-style NoC consist
+of body flits only (routing information travels on sideband wires), so a
+packet's cost on a link is just its payload flits:
+
+* read request — 1 flit (the command/address beat);
+* write request — one flit per data-bus cycle of payload (2 beats/flit);
+* read response — one flit per data-bus cycle of data;
+* write acknowledge — 1 flit.
+
+One flit therefore equals one data-bus clock cycle of SDRAM bandwidth, so
+the network and memory have matched peak bandwidth, as in the paper's
+testbed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..dram.request import MemoryRequest, ServiceClass
+
+
+class PacketKind(enum.Enum):
+    REQUEST = "request"
+    RESPONSE = "response"
+
+
+def flits_for_beats(beats: int) -> int:
+    """Payload flits to carry ``beats`` data beats (2 beats per flit)."""
+    if beats < 0:
+        raise ValueError("beats must be non-negative")
+    return max(1, (beats + 1) // 2)
+
+
+@dataclass
+class Packet:
+    """One wormhole packet (sized in flits)."""
+
+    packet_id: int
+    kind: PacketKind
+    src: int
+    dst: int
+    size_flits: int
+    created_cycle: int
+    request: Optional[MemoryRequest] = None
+
+    def __post_init__(self) -> None:
+        if self.size_flits <= 0:
+            raise ValueError("packet must contain at least one flit")
+        if self.kind is PacketKind.REQUEST and self.request is None:
+            raise ValueError("request packets must carry a MemoryRequest")
+
+    @property
+    def is_memory_request(self) -> bool:
+        return self.kind is PacketKind.REQUEST
+
+    @property
+    def is_response(self) -> bool:
+        return self.kind is PacketKind.RESPONSE
+
+    @property
+    def is_priority(self) -> bool:
+        return (
+            self.request is not None
+            and self.request.service is ServiceClass.PRIORITY
+        )
+
+    def __str__(self) -> str:
+        tag = "REQ" if self.is_memory_request else "RSP"
+        pri = "/P" if self.is_priority else ""
+        return f"pkt#{self.packet_id}{tag}{pri} {self.src}->{self.dst} x{self.size_flits}"
+
+
+def request_packet(
+    packet_id: int,
+    request: MemoryRequest,
+    src: int,
+    dst: int,
+    cycle: int,
+) -> Packet:
+    """Build the request packet for ``request`` (Section IV-C sizing)."""
+    size = flits_for_beats(request.beats) if request.is_write else 1
+    return Packet(
+        packet_id=packet_id,
+        kind=PacketKind.REQUEST,
+        src=src,
+        dst=dst,
+        size_flits=size,
+        created_cycle=cycle,
+        request=request,
+    )
+
+
+def response_packet(
+    packet_id: int,
+    request: MemoryRequest,
+    src: int,
+    dst: int,
+    cycle: int,
+) -> Packet:
+    """Build the response for ``request``: read data or a write acknowledge."""
+    size = flits_for_beats(request.beats) if request.is_read else 1
+    return Packet(
+        packet_id=packet_id,
+        kind=PacketKind.RESPONSE,
+        src=src,
+        dst=dst,
+        size_flits=size,
+        created_cycle=cycle,
+        request=request,
+    )

@@ -1,0 +1,274 @@
+"""Wormhole NoC router (Fig. 3 shell), two-phase cycle model.
+
+Every cycle has a *plan* phase (all routers decide flit movements and
+arbitrate idle outputs from committed start-of-cycle state) and a *commit*
+phase (all planned flit movements apply).  This keeps per-hop latency at
+exactly one cycle regardless of router iteration order.
+
+Per output channel and cycle a router:
+
+* moves one flit of the transfer that owns the channel, provided the flit
+  has arrived in the source buffer and the downstream buffer has credit —
+  wormhole cut-through: long packets pipeline across hops;
+* when the channel is idle (or its transfer moves its final flit this
+  cycle), collects the input-buffer heads routed to it, lets the flow
+  controller pick a winner, and claims that entry for a new winner-take-all
+  transfer: the channel is held until the packet's last flit has left.
+
+Newly arrived packet heads are registered with the flow controller of the
+output their XY route selects — this is where GSS token bookkeeping
+(Algorithm 1, lines 1-13) happens.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .buffers import FlitEntry, InputBuffer
+from .flow_control import Candidate, FlowController
+from .packet import Packet
+from .routing import RoutingPolicy, admissible_ports, xy_route
+from .topology import Mesh, Port
+
+#: factory(node, port) -> FlowController, chosen by the system builder.
+ControllerFactory = Callable[[int, Port], FlowController]
+
+
+class Transfer:
+    """An in-progress winner-take-all packet transfer on one channel."""
+
+    __slots__ = ("src_buffer", "entry", "dst_entry", "dst_buffer", "src_port")
+
+    def __init__(
+        self,
+        src_buffer: InputBuffer,
+        entry: FlitEntry,
+        src_port: Port,
+        dst_buffer: InputBuffer,
+    ):
+        self.src_buffer = src_buffer
+        self.entry = entry
+        self.dst_entry: Optional[FlitEntry] = None
+        self.dst_buffer = dst_buffer
+        self.src_port = src_port
+
+
+class OutputPort:
+    """One output channel: flow controller + downstream lanes + state.
+
+    ``downstream`` holds one buffer per virtual channel of the next hop's
+    input port; with a single lane this is plain wormhole, with two the
+    second lane is reserved for priority packets so they never sit behind
+    a best-effort packet in the same FIFO (Section IV-A names both input
+    buffer organizations).
+    """
+
+    def __init__(self, port: Port, controller: FlowController) -> None:
+        self.port = port
+        self.controller = controller
+        self.downstream: List[InputBuffer] = []
+        self.transfer: Optional[Transfer] = None
+        self._pending_transfer: Optional[Transfer] = None
+        self._move_planned = False
+        self.packets_sent = 0
+        self.flits_sent = 0
+
+    @property
+    def busy(self) -> bool:
+        return self.transfer is not None
+
+    def lane_for(self, packet: Packet) -> Optional[InputBuffer]:
+        """The downstream lane this packet would occupy (None if unwired)."""
+        if not self.downstream:
+            return None
+        if len(self.downstream) == 1 or not packet.is_priority:
+            return self.downstream[0]
+        return self.downstream[1]
+
+
+class Router:
+    """Five-port wormhole router with per-output flow controllers."""
+
+    def __init__(
+        self,
+        node: int,
+        mesh: Mesh,
+        controller_factory: ControllerFactory,
+        buffer_flits: int,
+        local_buffer_flits: Optional[int] = None,
+        routing_policy: RoutingPolicy = RoutingPolicy.XY,
+        virtual_channels: int = 1,
+    ) -> None:
+        """``buffer_flits`` sizes the inter-router input buffers;
+        ``local_buffer_flits`` (default: same) sizes the LOCAL injection
+        buffer, which must hold a whole packet (the NI injects packets
+        atomically) and is therefore usually larger.  With an adaptive
+        ``routing_policy`` a packet is offered to every admissible output
+        and taken by whichever wins arbitration first (the paper's
+        "packets ... can be scheduled to other GSS flow controllers which
+        are not busy", Section IV-A)."""
+        self.node = node
+        self.mesh = mesh
+        self.routing_policy = routing_policy
+        self.ports = mesh.ports(node)
+        if virtual_channels < 1:
+            raise ValueError("need at least one virtual channel")
+        self.virtual_channels = virtual_channels
+        local = local_buffer_flits if local_buffer_flits is not None else buffer_flits
+        self.inputs: Dict[Port, List[InputBuffer]] = {
+            port: (
+                [InputBuffer(local)]  # NI injection: single lane
+                if port is Port.LOCAL
+                else [InputBuffer(buffer_flits) for _ in range(virtual_channels)]
+            )
+            for port in self.ports
+        }
+        self.outputs: Dict[Port, OutputPort] = {
+            port: OutputPort(port, controller_factory(node, port))
+            for port in self.ports
+        }
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+
+    def connect(self, port: Port, downstream) -> None:
+        """Wire an output to the next hop's input lanes (buffer or list)."""
+        if isinstance(downstream, InputBuffer):
+            downstream = [downstream]
+        self.outputs[port].downstream = list(downstream)
+
+    def input_buffer(self, port: Port, lane: int = 0) -> InputBuffer:
+        return self.inputs[port][lane]
+
+    def input_lanes(self, port: Port) -> List[InputBuffer]:
+        return self.inputs[port]
+
+    # ------------------------------------------------------------------ #
+    # Phase 1: plan
+    # ------------------------------------------------------------------ #
+
+    def plan(self, cycle: int) -> None:
+        self._register_arrivals(cycle)
+        # First plan flit movements for busy channels, so buffers know which
+        # heads retire this cycle before any output arbitrates.
+        arbitrating: List[OutputPort] = []
+        for output in self.outputs.values():
+            output._move_planned = False
+            transfer = output.transfer
+            if transfer is None:
+                arbitrating.append(output)
+                continue
+            flit_ready = transfer.entry.resident_flits >= 1
+            credit = transfer.dst_buffer.has_credit()
+            if flit_ready and credit:
+                output._move_planned = True
+                if transfer.entry.sent + 1 >= transfer.entry.packet.size_flits:
+                    transfer.entry.retiring = True
+                    arbitrating.append(output)
+        for output in arbitrating:
+            self._arbitrate(output, cycle)
+
+    def _register_arrivals(self, cycle: int) -> None:
+        for port, lanes in self.inputs.items():
+            for buffer in lanes:
+                for packet in buffer.drain_arrivals():
+                    for out_port in self._routes(packet):
+                        self.outputs[out_port].controller.on_arrival(
+                            port, packet, cycle
+                        )
+
+    def _routes(self, packet: Packet) -> List[Port]:
+        return admissible_ports(
+            self.mesh, self.node, packet.dst, self.routing_policy
+        )
+
+    def _arbitrate(self, output: OutputPort, cycle: int) -> None:
+        if not output.downstream:
+            return
+        candidates = self._candidates_for(output)
+        if not candidates:
+            return
+        winner = output.controller.pick(candidates, cycle)
+        if winner is None:
+            return
+        port, packet = winner
+        entry, src_buffer = self._claimable_entry(port, packet)
+        assert entry is not None, "controller picked a non-candidate packet"
+        dst_buffer = output.lane_for(packet)
+        assert dst_buffer is not None
+        entry.claimed = True
+        dst_buffer.reserve_slot()
+        output.controller.on_scheduled(port, packet, cycle)
+        # Adaptive routing: withdraw the packet from the controllers of the
+        # other admissible outputs.
+        for other_port in self._routes(packet):
+            if other_port is not output.port:
+                self.outputs[other_port].controller.on_withdrawn(packet, cycle)
+        next_transfer = Transfer(src_buffer, entry, port, dst_buffer)
+        if output.transfer is None:
+            output.transfer = next_transfer
+        else:
+            # Current transfer finishes this cycle; queue the successor.
+            output._pending_transfer = next_transfer
+
+    def _claimable_entry(self, port: Port, packet: Packet):
+        for buffer in self.inputs[port]:
+            entry = buffer.head_candidate()
+            if entry is not None and entry.packet is packet:
+                return entry, buffer
+        return None, None
+
+    def _candidates_for(self, output: OutputPort) -> List[Candidate]:
+        candidates: List[Candidate] = []
+        for port, lanes in self.inputs.items():
+            for buffer in lanes:
+                entry = buffer.head_candidate()
+                if entry is None:
+                    continue
+                if output.port not in self._routes(entry.packet):
+                    continue
+                lane = output.lane_for(entry.packet)
+                if lane is None or not lane.can_open_entry():
+                    continue
+                candidates.append((port, entry.packet))
+        return candidates
+
+    # ------------------------------------------------------------------ #
+    # Phase 2: commit
+    # ------------------------------------------------------------------ #
+
+    def commit(self, cycle: int) -> None:
+        for output in self.outputs.values():
+            if not output._move_planned:
+                continue
+            output._move_planned = False
+            transfer = output.transfer
+            assert transfer is not None
+            if transfer.dst_entry is None:
+                transfer.dst_entry = transfer.dst_buffer.open_entry(
+                    transfer.entry.packet
+                )
+            transfer.dst_buffer.commit_flit(transfer.dst_entry)
+            transfer.entry.sent += 1
+            output.flits_sent += 1
+            if transfer.entry.fully_sent:
+                packet = transfer.src_buffer.retire_head()
+                assert packet is transfer.entry.packet
+                output.controller.on_delivered(packet, cycle)
+                output.packets_sent += 1
+                output.transfer = output._pending_transfer
+                output._pending_transfer = None
+
+    # ------------------------------------------------------------------ #
+
+    def tick(self, cycle: int) -> None:
+        """Single-phase convenience for standalone router tests."""
+        self.plan(cycle)
+        self.commit(cycle)
+
+    @property
+    def queued_packets(self) -> int:
+        return sum(
+            len(buffer) for lanes in self.inputs.values() for buffer in lanes
+        )

@@ -1,0 +1,81 @@
+"""NoC telemetry: per-link utilization and hotspot reporting.
+
+Routers already count flits per output channel; this module turns those
+counters into a link-utilization map and a per-node summary — the view a
+NoC designer uses to find the congested column-0 funnel toward the memory
+corner (and to check that GSS deployment shifted it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .network import MeshNetwork
+from .topology import Port
+
+
+@dataclass(frozen=True)
+class LinkStats:
+    """Activity of one output channel over a run."""
+
+    node: int
+    port: Port
+    packets: int
+    flits: int
+    utilization: float  # flits per cycle (link capacity = 1)
+
+
+def link_stats(network: MeshNetwork, cycles: int) -> List[LinkStats]:
+    """Per-output-channel statistics after a run of ``cycles`` cycles."""
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    stats: List[LinkStats] = []
+    for router in network.routers:
+        for port, output in router.outputs.items():
+            stats.append(
+                LinkStats(
+                    node=router.node,
+                    port=port,
+                    packets=output.packets_sent,
+                    flits=output.flits_sent,
+                    utilization=output.flits_sent / cycles,
+                )
+            )
+    return stats
+
+
+def hottest_links(
+    network: MeshNetwork, cycles: int, top: int = 5
+) -> List[LinkStats]:
+    """The ``top`` busiest channels (the memory funnel, usually)."""
+    if top <= 0:
+        raise ValueError("top must be positive")
+    ordered = sorted(
+        link_stats(network, cycles), key=lambda s: s.flits, reverse=True
+    )
+    return ordered[:top]
+
+
+def node_throughput(network: MeshNetwork, cycles: int) -> Dict[int, float]:
+    """Total flits per cycle forwarded by each router."""
+    totals: Dict[int, float] = {}
+    for stat in link_stats(network, cycles):
+        totals[stat.node] = totals.get(stat.node, 0.0) + stat.utilization
+    return totals
+
+
+def render_link_report(network: MeshNetwork, cycles: int, top: int = 8) -> str:
+    """Text report of the busiest links plus per-node totals."""
+    lines = [f"{'link':>14s} {'packets':>8s} {'flits':>8s} {'util':>6s}"]
+    for stat in hottest_links(network, cycles, top=top):
+        lines.append(
+            f"{stat.node:>4d}.{stat.port.name:<9s} {stat.packets:>8d} "
+            f"{stat.flits:>8d} {stat.utilization:6.2f}"
+        )
+    lines.append("")
+    lines.append("per-node forwarded flits/cycle:")
+    totals = node_throughput(network, cycles)
+    for node in sorted(totals):
+        lines.append(f"  node {node:>2d}: {totals[node]:5.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""Mesh topologies (Fig. 7).
+
+2-D meshes number nodes row-major (node ``y * width + x``); each router has
+five ports — LOCAL plus the four compass directions — matching the paper's
+``p = 5`` (Section IV-A).  :class:`Mesh3D` adds UP/DOWN for the paper's
+``p = 7`` 3-D mesh case, layer-major (node ``z * width * height + y * width
++ x``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+
+class Port(enum.IntEnum):
+    LOCAL = 0
+    NORTH = 1
+    EAST = 2
+    SOUTH = 3
+    WEST = 4
+    UP = 5      # 3-D meshes only (toward lower layer index)
+    DOWN = 6    # 3-D meshes only (toward higher layer index)
+
+
+#: Direction vectors (dx, dy) per port; LOCAL has no displacement.
+_DELTAS = {
+    Port.NORTH: (0, -1),
+    Port.EAST: (1, 0),
+    Port.SOUTH: (0, 1),
+    Port.WEST: (-1, 0),
+}
+
+_OPPOSITE = {
+    Port.NORTH: Port.SOUTH,
+    Port.SOUTH: Port.NORTH,
+    Port.EAST: Port.WEST,
+    Port.WEST: Port.EAST,
+    Port.UP: Port.DOWN,
+    Port.DOWN: Port.UP,
+}
+
+
+@dataclass(frozen=True)
+class Mesh:
+    """A ``width`` x ``height`` mesh."""
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("mesh dimensions must be positive")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    def nodes(self) -> Iterator[int]:
+        return iter(range(self.num_nodes))
+
+    def coordinates(self, node: int) -> Tuple[int, int]:
+        self._check(node)
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"({x}, {y}) outside {self.width}x{self.height} mesh")
+        return y * self.width + x
+
+    def neighbor(self, node: int, port: Port) -> Optional[int]:
+        """Node reached by leaving ``node`` through ``port`` (None if edge)."""
+        if port is Port.LOCAL:
+            return None
+        x, y = self.coordinates(node)
+        dx, dy = _DELTAS[port]
+        nx, ny = x + dx, y + dy
+        if 0 <= nx < self.width and 0 <= ny < self.height:
+            return self.node_at(nx, ny)
+        return None
+
+    def ports(self, node: int) -> List[Port]:
+        """All usable ports at ``node`` (LOCAL plus existing neighbors)."""
+        usable = [Port.LOCAL]
+        usable.extend(
+            port for port in _DELTAS if self.neighbor(node, port) is not None
+        )
+        return usable
+
+    @staticmethod
+    def opposite(port: Port) -> Port:
+        if port is Port.LOCAL:
+            raise ValueError("LOCAL has no opposite port")
+        return _OPPOSITE[port]
+
+    def hop_distance(self, a: int, b: int) -> int:
+        ax, ay = self.coordinates(a)
+        bx, by = self.coordinates(b)
+        return abs(ax - bx) + abs(ay - by)
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} outside mesh of {self.num_nodes}")
+
+
+@dataclass(frozen=True)
+class Mesh3D:
+    """A ``width`` x ``height`` x ``depth`` mesh (p = 7 routers)."""
+
+    width: int
+    height: int
+    depth: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0 or self.depth <= 0:
+            raise ValueError("mesh dimensions must be positive")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height * self.depth
+
+    @property
+    def layer_nodes(self) -> int:
+        return self.width * self.height
+
+    def nodes(self) -> Iterator[int]:
+        return iter(range(self.num_nodes))
+
+    def coordinates(self, node: int) -> Tuple[int, int, int]:
+        self._check(node)
+        layer, rest = divmod(node, self.layer_nodes)
+        return rest % self.width, rest // self.width, layer
+
+    def node_at(self, x: int, y: int, z: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height
+                and 0 <= z < self.depth):
+            raise ValueError(
+                f"({x}, {y}, {z}) outside "
+                f"{self.width}x{self.height}x{self.depth} mesh"
+            )
+        return z * self.layer_nodes + y * self.width + x
+
+    def neighbor(self, node: int, port: Port) -> Optional[int]:
+        if port is Port.LOCAL:
+            return None
+        x, y, z = self.coordinates(node)
+        if port is Port.UP:
+            return self.node_at(x, y, z - 1) if z > 0 else None
+        if port is Port.DOWN:
+            return self.node_at(x, y, z + 1) if z < self.depth - 1 else None
+        dx, dy = _DELTAS[port]
+        nx, ny = x + dx, y + dy
+        if 0 <= nx < self.width and 0 <= ny < self.height:
+            return self.node_at(nx, ny, z)
+        return None
+
+    def ports(self, node: int) -> List[Port]:
+        usable = [Port.LOCAL]
+        for port in (Port.NORTH, Port.EAST, Port.SOUTH, Port.WEST,
+                     Port.UP, Port.DOWN):
+            if self.neighbor(node, port) is not None:
+                usable.append(port)
+        return usable
+
+    @staticmethod
+    def opposite(port: Port) -> Port:
+        return Mesh.opposite(port)
+
+    def hop_distance(self, a: int, b: int) -> int:
+        ax, ay, az = self.coordinates(a)
+        bx, by, bz = self.coordinates(b)
+        return abs(ax - bx) + abs(ay - by) + abs(az - bz)
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} outside mesh of {self.num_nodes}")

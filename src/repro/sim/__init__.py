@@ -1,0 +1,37 @@
+"""Cycle-driven simulation kernel, configuration, metrics, and analysis."""
+
+from .analysis import (
+    MasterReport,
+    TailLatency,
+    bandwidth_share,
+    per_master_report,
+    render_master_report,
+    tail_latencies,
+)
+
+from .config import DdrGeneration, NocDesign, PAPER_CLOCK_POINTS, SystemConfig, paper_configs
+from .engine import Clocked, Simulator
+from .records import RunResult, TableRow, ratio_row
+from .stats import LatencySeries, RunMetrics, StatsCollector
+
+__all__ = [
+    "Clocked",
+    "MasterReport",
+    "TailLatency",
+    "bandwidth_share",
+    "per_master_report",
+    "render_master_report",
+    "tail_latencies",
+    "DdrGeneration",
+    "LatencySeries",
+    "NocDesign",
+    "PAPER_CLOCK_POINTS",
+    "RunMetrics",
+    "RunResult",
+    "Simulator",
+    "StatsCollector",
+    "SystemConfig",
+    "TableRow",
+    "paper_configs",
+    "ratio_row",
+]

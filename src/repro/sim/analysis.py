@@ -1,0 +1,105 @@
+"""Post-run analysis helpers.
+
+The paper reports fleet averages; these helpers break a run down further —
+per-master latency (which core starves?), latency percentiles (what would
+a real-time core have to provision for?), and bandwidth shares — which is
+what a designer adopting this methodology actually debugs with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .stats import LatencySeries, StatsCollector
+
+
+@dataclass(frozen=True)
+class MasterReport:
+    """Latency summary for one master core."""
+
+    master: int
+    name: str
+    completed: int
+    mean_latency: float
+    max_latency: int
+    p95_latency: Optional[float]
+
+
+def per_master_report(
+    stats: StatsCollector, names: Optional[Dict[int, str]] = None
+) -> List[MasterReport]:
+    """Per-master latency table, sorted by master id."""
+    names = names or {}
+    reports = []
+    for master in sorted(stats.per_master):
+        series = stats.per_master[master]
+        p95 = series.percentile(95) if series.keep_samples else None
+        reports.append(
+            MasterReport(
+                master=master,
+                name=names.get(master, f"core{master}"),
+                completed=series.count,
+                mean_latency=series.mean,
+                max_latency=series.maximum,
+                p95_latency=p95,
+            )
+        )
+    return reports
+
+
+def render_master_report(reports: List[MasterReport]) -> str:
+    lines = [
+        f"{'master':>6s} {'name':14s} {'done':>6s} {'mean':>8s} "
+        f"{'max':>6s} {'p95':>8s}"
+    ]
+    for report in reports:
+        p95 = f"{report.p95_latency:8.1f}" if report.p95_latency is not None else "     n/a"
+        lines.append(
+            f"{report.master:>6d} {report.name:14s} {report.completed:>6d} "
+            f"{report.mean_latency:8.1f} {report.max_latency:>6d} {p95}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class TailLatency:
+    """Mean vs tail latency of a request class."""
+
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: int
+
+    @classmethod
+    def from_series(cls, series: LatencySeries) -> "TailLatency":
+        return cls(
+            mean=series.mean,
+            p50=series.percentile(50),
+            p95=series.percentile(95),
+            p99=series.percentile(99),
+            maximum=series.maximum,
+        )
+
+
+def tail_latencies(stats: StatsCollector) -> Dict[str, TailLatency]:
+    """Tail latency of all packets and of the demand class.
+
+    Requires the collector to have been built with ``keep_samples=True``.
+    """
+    return {
+        "all": TailLatency.from_series(stats.all_packets),
+        "demand": TailLatency.from_series(stats.demand_packets),
+    }
+
+
+def bandwidth_share(stats: StatsCollector) -> Dict[str, float]:
+    """Useful vs wasted share of the moved beats."""
+    total = stats.useful_beats + stats.wasted_beats
+    if total == 0:
+        return {"useful": 0.0, "wasted": 0.0}
+    return {
+        "useful": stats.useful_beats / total,
+        "wasted": stats.wasted_beats / total,
+    }

@@ -1,0 +1,160 @@
+"""Experiment configuration.
+
+A :class:`SystemConfig` fully describes one simulated system: the
+application model (which cores, where they sit on the mesh), the SDRAM
+generation and clock, the NoC design under test, and the run length.  The
+experiment drivers in :mod:`repro.experiments` enumerate these configs to
+regenerate every table and figure of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+class NocDesign(enum.Enum):
+    """The NoC designs compared in the paper's evaluation (Section V)."""
+
+    CONV = "conv"                    # round-robin routers + MemMax/Databahn subsystem
+    CONV_PFS = "conv+pfs"            # CONV with priority-first service
+    SDRAM_AWARE = "sdram-aware"      # baseline [4]: SDRAM-aware routers
+    SDRAM_AWARE_PFS = "sdram-aware+pfs"  # [4] with priority-first service
+    GSS = "gss"                      # this paper: guaranteed SDRAM service router
+    GSS_SAGM = "gss+sagm"            # GSS + access-granularity matching
+
+    @property
+    def uses_gss_router(self) -> bool:
+        return self in (NocDesign.GSS, NocDesign.GSS_SAGM)
+
+    @property
+    def uses_sagm(self) -> bool:
+        return self is NocDesign.GSS_SAGM
+
+    @property
+    def uses_pfs(self) -> bool:
+        return self in (NocDesign.CONV_PFS, NocDesign.SDRAM_AWARE_PFS)
+
+
+class DdrGeneration(enum.Enum):
+    """DDR SDRAM generations evaluated in the paper."""
+
+    DDR1 = "ddr1"
+    DDR2 = "ddr2"
+    DDR3 = "ddr3"
+
+    @property
+    def device_burst_beats(self) -> int:
+        """Device burst length (beats) in the paper's configuration:
+        BL 8 for CONV/[4]; SAGM drops DDR I/II to BL 4 and uses DDR III's
+        BL4/BL8 on-the-fly mode (Section III-C)."""
+        return 8
+
+    @property
+    def sagm_granularity_beats(self) -> int:
+        """SAGM split granularity in beats (Section IV-C): packets of
+        'BL 2' (two data cycles = 4 beats) for DDR I/II in device BL 4 mode,
+        'BL 4' (8 beats) for DDR III in BL 8 OTF mode."""
+        return 4 if self in (DdrGeneration.DDR1, DdrGeneration.DDR2) else 8
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete description of one simulated system configuration."""
+
+    app: str = "single_dtv"           # bluray | single_dtv | dual_dtv
+    ddr: DdrGeneration = DdrGeneration.DDR2
+    clock_mhz: int = 333              # memory (and NoC) clock in MHz
+    design: NocDesign = NocDesign.GSS_SAGM
+    priority_enabled: bool = False    # Table I: False; Table II / Fig 8: True
+    pct: int = 5                      # priority control token (Algorithm 1, line 9)
+    sti: bool = False                 # Fig. 4(b) short-turnaround filter (Table III)
+    num_gss_routers: Optional[int] = None  # None = all on memory path (Fig. 8 sweep)
+    cycles: int = 20_000
+    warmup: int = 2_000
+    seed: int = 2010                  # DAC 2010 — deterministic workloads
+    #: Endpoint (NI injection / ejection) buffer size: must hold the
+    #: largest whole packet (a 64-beat transfer = 32 flits).
+    input_buffer_flits: int = 64
+    #: Inter-router input buffer size.  Shallow link buffers keep queueing
+    #: at arbitration points, where priority packets can overtake; deep
+    #: ones would accumulate head-of-line blocking priority cannot bypass.
+    link_buffer_flits: int = 12
+    max_outstanding: int = 4          # per-core outstanding request cap
+    #: Use minimal-adaptive west-first routing instead of deterministic XY
+    #: (Section IV-A allows either; the paper's experiments use XY).
+    adaptive_routing: bool = False
+    #: Virtual channels per inter-router input port (Section IV-A names
+    #: wormhole and virtual-channel buffering; the paper's experiments use
+    #: wormhole = 1 VC).  With 2, the second lane is reserved for priority
+    #: packets, removing same-FIFO head-of-line blocking.
+    virtual_channels: int = 1
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.pct <= 6:
+            raise ValueError(f"PCT must be in 1..6, got {self.pct}")
+        if self.cycles <= 0:
+            raise ValueError("cycles must be positive")
+        if not 0 <= self.warmup < self.cycles:
+            raise ValueError("warmup must be in [0, cycles)")
+        if self.clock_mhz <= 0:
+            raise ValueError("clock_mhz must be positive")
+        if self.link_buffer_flits <= 0 or self.input_buffer_flits <= 0:
+            raise ValueError("buffer sizes must be positive")
+        if not 1 <= self.virtual_channels <= 4:
+            raise ValueError("virtual_channels must be within 1..4")
+        # Validate against the application registry (imported lazily so that
+        # user-registered models in repro.workloads.apps.APP_MODELS count).
+        from ..workloads.apps import APP_MODELS
+
+        if self.app not in APP_MODELS:
+            raise ValueError(
+                f"unknown application model {self.app!r}; "
+                f"registered: {sorted(APP_MODELS)}"
+            )
+
+    def with_(self, **changes) -> "SystemConfig":
+        """Return a copy with ``changes`` applied (frozen-dataclass update)."""
+        return replace(self, **changes)
+
+    @property
+    def label(self) -> str:
+        tag = self.design.value
+        if self.design.uses_gss_router and self.sti:
+            tag += "+sti"
+        return f"{self.app}/{self.ddr.value}@{self.clock_mhz}MHz/{tag}"
+
+
+# The nine application/clock points used throughout Section V.
+PAPER_CLOCK_POINTS = {
+    "bluray": {
+        DdrGeneration.DDR1: 133,
+        DdrGeneration.DDR2: 266,
+        DdrGeneration.DDR3: 533,
+    },
+    "single_dtv": {
+        DdrGeneration.DDR1: 166,
+        DdrGeneration.DDR2: 333,
+        DdrGeneration.DDR3: 667,
+    },
+    "dual_dtv": {
+        DdrGeneration.DDR1: 200,
+        DdrGeneration.DDR2: 400,
+        DdrGeneration.DDR3: 800,
+    },
+}
+
+
+def paper_configs(design: NocDesign, priority: bool, **overrides):
+    """Yield the nine (app × DDR generation) configs of Tables I/II."""
+    for app, points in PAPER_CLOCK_POINTS.items():
+        for ddr, mhz in points.items():
+            yield SystemConfig(
+                app=app,
+                ddr=ddr,
+                clock_mhz=mhz,
+                design=design,
+                priority_enabled=priority,
+                **overrides,
+            )

@@ -1,0 +1,58 @@
+"""Structured result records shared by the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List
+
+from .config import SystemConfig
+from .stats import RunMetrics
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Metrics from one simulated configuration."""
+
+    config: SystemConfig
+    metrics: RunMetrics
+
+    @property
+    def utilization(self) -> float:
+        return self.metrics.utilization
+
+    @property
+    def latency_all(self) -> float:
+        return self.metrics.latency_all
+
+    @property
+    def latency_demand(self) -> float:
+        return self.metrics.latency_demand
+
+    def to_dict(self) -> Dict[str, object]:
+        record = {"label": self.config.label}
+        record.update(asdict(self.metrics))
+        return record
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One row of a paper-style comparison table."""
+
+    application: str
+    clock_mhz: int
+    ddr: str
+    values: Dict[str, float]
+
+
+def ratio_row(rows: List[TableRow], baseline_key: str) -> Dict[str, float]:
+    """Compute the paper's 'Ratio' footer: column average / baseline average."""
+    if not rows:
+        return {}
+    keys = rows[0].values.keys()
+    averages = {
+        key: sum(row.values[key] for row in rows) / len(rows) for key in keys
+    }
+    base = averages.get(baseline_key)
+    if not base:
+        return {key: 0.0 for key in keys}
+    return {key: averages[key] / base for key in keys}

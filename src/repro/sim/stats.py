@@ -1,0 +1,224 @@
+"""Latency and utilization accounting.
+
+The paper reports three metrics per configuration (Tables I–III, Fig. 8):
+
+* **memory utilization** — clock cycles spent transferring *useful* data on
+  the SDRAM data bus divided by total simulated cycles (Section I defines it
+  as "the number of clock cycles used for data transfer divided by the number
+  of total clock cycles"; we additionally separate useful beats from
+  granularity-mismatch waste so SAGM's benefit is measurable);
+* **memory latency of all packets** — average request-to-completion latency;
+* **memory latency of demand/priority packets** — same, restricted to the
+  demand class.
+
+A single :class:`StatsCollector` instance is threaded through the system and
+records request completions plus per-cycle bus activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class LatencySeries:
+    """Running latency statistics for one request class."""
+
+    count: int = 0
+    total: int = 0
+    maximum: int = 0
+    samples: List[int] = field(default_factory=list)
+    keep_samples: bool = False
+
+    def record(self, latency: int) -> None:
+        if latency < 0:
+            raise ValueError(f"negative latency {latency}")
+        self.count += 1
+        self.total += latency
+        if latency > self.maximum:
+            self.maximum = latency
+        if self.keep_samples:
+            self.samples.append(latency)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) of recorded latencies.
+
+        Requires ``keep_samples=True``; the paper reports means, but tail
+        latency is what a real-time core actually provisions for.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be within [0, 100]")
+        if not self.keep_samples:
+            raise RuntimeError("series was created without keep_samples")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, round(q / 100 * (len(ordered) - 1)))
+        return float(ordered[index])
+
+
+class StatsCollector:
+    """Accumulates latency and SDRAM data-bus activity for one run.
+
+    ``warmup`` cycles at the start of the run are excluded from every
+    statistic so that cold-start transients (empty buffers, closed banks) do
+    not bias the averages.
+    """
+
+    def __init__(self, warmup: int = 0, keep_samples: bool = False) -> None:
+        if warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        self.warmup = warmup
+        self.all_packets = LatencySeries(keep_samples=keep_samples)
+        self.demand_packets = LatencySeries(keep_samples=keep_samples)
+        self.per_master: Dict[int, LatencySeries] = {}
+        self.keep_samples = keep_samples
+        # Data-bus activity, in cycles.
+        self.busy_cycles = 0        # bus transferring anything at all
+        self.useful_cycles = 0.0    # fraction of each busy cycle moving requested beats
+        self.wasted_beats = 0
+        self.useful_beats = 0
+        self.observed_cycles = 0
+        # Command-bus activity (for ablations / command congestion analysis).
+        self.commands_issued: Dict[str, int] = {}
+        self.row_hits = 0
+        self.row_misses = 0
+        self.bank_conflict_precharges = 0
+
+    # ------------------------------------------------------------------ #
+    # Request completion
+    # ------------------------------------------------------------------ #
+
+    def record_completion(
+        self,
+        cycle: int,
+        issued_cycle: int,
+        master: int,
+        is_demand: bool,
+    ) -> None:
+        """Record a completed memory request.
+
+        ``is_demand`` flags CPU demand requests — the class the paper tracks
+        separately (served as priority packets in Table II / Fig. 8(c)).
+        """
+        if issued_cycle < self.warmup:
+            return
+        latency = cycle - issued_cycle
+        self.all_packets.record(latency)
+        if is_demand:
+            self.demand_packets.record(latency)
+        series = self.per_master.get(master)
+        if series is None:
+            series = self.per_master[master] = LatencySeries(
+                keep_samples=self.keep_samples
+            )
+        series.record(latency)
+
+    # ------------------------------------------------------------------ #
+    # SDRAM bus activity
+    # ------------------------------------------------------------------ #
+
+    def record_bus_cycle(self, cycle: int, useful_beats: int, total_beats: int) -> None:
+        """Record one data-bus-busy cycle transferring ``total_beats`` beats,
+        of which ``useful_beats`` were actually requested by a core."""
+        if cycle < self.warmup:
+            return
+        if total_beats <= 0:
+            raise ValueError("bus cycle must transfer at least one beat")
+        if not 0 <= useful_beats <= total_beats:
+            raise ValueError("useful beats out of range")
+        self.busy_cycles += 1
+        self.useful_cycles += useful_beats / total_beats
+        self.useful_beats += useful_beats
+        self.wasted_beats += total_beats - useful_beats
+
+    def record_idle_cycle(self, cycle: int) -> None:
+        """Record that ``cycle`` elapsed (whether or not the bus was busy)."""
+        if cycle < self.warmup:
+            return
+        self.observed_cycles += 1
+
+    def record_command(self, cycle: int, kind: str) -> None:
+        if cycle < self.warmup:
+            return
+        self.commands_issued[kind] = self.commands_issued.get(kind, 0) + 1
+
+    def record_row_outcome(self, cycle: int, hit: bool) -> None:
+        if cycle < self.warmup:
+            return
+        if hit:
+            self.row_hits += 1
+        else:
+            self.row_misses += 1
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def utilization(self) -> float:
+        """Useful-data utilization: requested beats moved / bus capacity."""
+        if self.observed_cycles == 0:
+            return 0.0
+        return self.useful_cycles / self.observed_cycles
+
+    @property
+    def raw_utilization(self) -> float:
+        """Bus-occupancy utilization, counting wasted (overfetched) beats."""
+        if self.observed_cycles == 0:
+            return 0.0
+        return self.busy_cycles / self.observed_cycles
+
+    @property
+    def mean_latency(self) -> float:
+        return self.all_packets.mean
+
+    @property
+    def mean_demand_latency(self) -> float:
+        return self.demand_packets.mean
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of the headline metrics, for reports and tests."""
+        return {
+            "utilization": self.utilization,
+            "raw_utilization": self.raw_utilization,
+            "latency_all": self.mean_latency,
+            "latency_demand": self.mean_demand_latency,
+            "completed": float(self.all_packets.count),
+            "row_hit_rate": self.row_hit_rate,
+        }
+
+
+@dataclass
+class RunMetrics:
+    """Frozen snapshot of one simulation run's headline metrics."""
+
+    utilization: float
+    raw_utilization: float
+    latency_all: float
+    latency_demand: float
+    completed: int
+    row_hit_rate: float
+    cycles: int
+
+    @classmethod
+    def from_collector(cls, stats: StatsCollector, cycles: int) -> "RunMetrics":
+        return cls(
+            utilization=stats.utilization,
+            raw_utilization=stats.raw_utilization,
+            latency_all=stats.mean_latency,
+            latency_demand=stats.mean_demand_latency,
+            completed=stats.all_packets.count,
+            row_hit_rate=stats.row_hit_rate,
+            cycles=cycles,
+        )

@@ -1,0 +1,141 @@
+"""Application models (Section V): Blu-ray, single DTV, dual DTV.
+
+The paper evaluates three industrial multimedia systems of 9, 9, and 16
+nodes respectively — a memory subsystem in one mesh corner plus the
+processing cores, mapped by A3MAP onto 3x3 / 3x3 / 4x4 meshes (Fig. 7).
+Each model below lists its cores as :class:`~repro.workloads.cores.CoreSpec`
+instances; placement onto mesh nodes is handled by
+:mod:`repro.workloads.mapping`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from .cores import (
+    CoreSpec,
+    audio_core,
+    cpu_core,
+    demux_core,
+    display_core,
+    enhancer_core,
+    format_converter_core,
+    graphics_core,
+    h264_codec_core,
+    mpeg2_codec_core,
+    pvr_core,
+)
+
+
+@dataclass(frozen=True)
+class AppModel:
+    """One application: mesh shape plus its processing cores.
+
+    ``mesh_depth`` > 1 describes a 3-D stacked SoC (the paper's p = 7
+    router case); the paper's own models are 2-D.
+    """
+
+    name: str
+    mesh_width: int
+    mesh_height: int
+    cores: List[CoreSpec]
+    mesh_depth: int = 1
+
+    @property
+    def num_nodes(self) -> int:
+        return self.mesh_width * self.mesh_height * self.mesh_depth
+
+    @property
+    def is_3d(self) -> bool:
+        return self.mesh_depth > 1
+
+    def __post_init__(self) -> None:
+        if self.mesh_depth <= 0:
+            raise ValueError("mesh_depth must be positive")
+        if len(self.cores) != self.num_nodes - 1:
+            raise ValueError(
+                f"{self.name}: {len(self.cores)} cores do not fill a "
+                f"{self.mesh_width}x{self.mesh_height}x{self.mesh_depth} "
+                f"mesh minus the memory node"
+            )
+
+
+def bluray_model() -> AppModel:
+    """Blu-ray player: H.264 decode path on a 3x3 mesh (9 nodes)."""
+    return AppModel(
+        name="bluray",
+        mesh_width=3,
+        mesh_height=3,
+        cores=[
+            cpu_core(),
+            h264_codec_core(gap_mean=6.0),    # H.264 decoder
+            h264_codec_core(gap_mean=10.0),    # H.264 encoder (BD-RE)
+            enhancer_core(),                   # picture enhancer
+            display_core(),
+            graphics_core(),                   # BD-J graphics plane
+            audio_core(),
+            demux_core(),                      # stream demux / drive DMA
+        ],
+    )
+
+
+def single_dtv_model() -> AppModel:
+    """Single-channel DTV SoC on a 3x3 mesh (9 nodes)."""
+    return AppModel(
+        name="single_dtv",
+        mesh_width=3,
+        mesh_height=3,
+        cores=[
+            cpu_core(),
+            mpeg2_codec_core(gap_mean=7.0),   # broadcast MPEG-2 decoder
+            enhancer_core(),                   # video enhancer
+            format_converter_core(),           # format converter / scaler
+            display_core(),
+            graphics_core(),                   # OSD
+            audio_core(),
+            demux_core(),
+        ],
+    )
+
+
+def dual_dtv_model() -> AppModel:
+    """Dual-channel DTV (picture-in-picture) SoC on a 4x4 mesh (16 nodes)."""
+    return AppModel(
+        name="dual_dtv",
+        mesh_width=4,
+        mesh_height=4,
+        cores=[
+            cpu_core(gap_mean=68.0),
+            mpeg2_codec_core(gap_mean=27.0),   # channel-0 decoder
+            h264_codec_core(gap_mean=24.0),    # channel-1 decoder
+            enhancer_core(gap_mean=290.0),     # channel-0 enhancer
+            enhancer_core(gap_mean=320.0),     # channel-1 enhancer
+            format_converter_core(gap_mean=425.0),  # channel-0 converter
+            format_converter_core(gap_mean=475.0),  # channel-1 converter
+            display_core(gap_mean=390.0),      # main plane
+            display_core(gap_mean=440.0),      # PIP plane
+            graphics_core(gap_mean=153.0),      # OSD
+            audio_core(gap_mean=240.0),
+            audio_core(gap_mean=270.0),
+            demux_core(gap_mean=510.0),        # channel-0 demux
+            demux_core(gap_mean=560.0),        # channel-1 demux
+            pvr_core(gap_mean=475.0),          # time-shift recorder
+        ],
+    )
+
+
+APP_MODELS: Dict[str, Callable[[], AppModel]] = {
+    "bluray": bluray_model,
+    "single_dtv": single_dtv_model,
+    "dual_dtv": dual_dtv_model,
+}
+
+
+def get_app_model(name: str) -> AppModel:
+    try:
+        return APP_MODELS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown application {name!r}; choose from {sorted(APP_MODELS)}"
+        ) from None

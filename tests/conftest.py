@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.dram.timing import DramTiming
+from repro.sim.config import DdrGeneration
+
+
+@pytest.fixture
+def ddr2_timing():
+    return DramTiming.for_clock(DdrGeneration.DDR2, 333)
+
+
+@pytest.fixture
+def ddr3_timing():
+    return DramTiming.for_clock(DdrGeneration.DDR3, 800)
+
+
+@pytest.fixture
+def ddr1_timing():
+    return DramTiming.for_clock(DdrGeneration.DDR1, 133)

@@ -1,0 +1,91 @@
+"""Router assembly factory tests."""
+
+import pytest
+
+from repro.core.gss_flow_control import (
+    GssFlowController,
+    PfsMemoryFlowController,
+    SdramAwareFlowController,
+)
+from repro.core.gss_router import (
+    conventional_controller,
+    design_controller_factory,
+    gss_controller,
+    sdram_aware_controller,
+    sdram_aware_pfs_controller,
+)
+from repro.noc.flow_control import (
+    DualFlowController,
+    PriorityFirstFlowController,
+    RoundRobinFlowController,
+)
+from repro.noc.topology import Port
+from repro.sim.config import NocDesign
+
+
+class TestBuildingBlocks:
+    def test_gss_controller_shape(self, ddr2_timing):
+        controller = gss_controller(ddr2_timing, pct=4, sti=True)
+        assert isinstance(controller, DualFlowController)
+        assert isinstance(controller.memory, GssFlowController)
+        assert controller.memory.sti_enabled
+        assert controller.memory.table.pct == 4
+
+    def test_sdram_aware_controller_shape(self, ddr2_timing):
+        controller = sdram_aware_controller(ddr2_timing)
+        assert isinstance(controller.memory, SdramAwareFlowController)
+
+    def test_pfs_wrapper_shape(self, ddr2_timing):
+        controller = sdram_aware_pfs_controller(ddr2_timing)
+        assert isinstance(controller.memory, PfsMemoryFlowController)
+        assert isinstance(controller.normal, PriorityFirstFlowController)
+
+    def test_conventional_variants(self):
+        assert isinstance(conventional_controller(True),
+                          PriorityFirstFlowController)
+        rr = conventional_controller(False)
+        assert isinstance(rr, RoundRobinFlowController)
+        assert not isinstance(rr, PriorityFirstFlowController)
+
+
+class TestDesignFactory:
+    def test_conv_everywhere(self, ddr2_timing):
+        factory = design_controller_factory(NocDesign.CONV, ddr2_timing)
+        controller = factory(3, Port.LOCAL)
+        assert isinstance(controller, RoundRobinFlowController)
+
+    def test_gss_partial_deployment(self, ddr2_timing):
+        factory = design_controller_factory(
+            NocDesign.GSS_SAGM, ddr2_timing, gss_nodes={0, 1},
+            priority_enabled=True,
+        )
+        assert isinstance(factory(0, Port.LOCAL), DualFlowController)
+        assert isinstance(factory(5, Port.LOCAL), PriorityFirstFlowController)
+
+    def test_gss_without_priority_falls_back_to_rr(self, ddr2_timing):
+        factory = design_controller_factory(
+            NocDesign.GSS, ddr2_timing, gss_nodes=set(),
+            priority_enabled=False,
+        )
+        fallback = factory(4, Port.EAST)
+        assert isinstance(fallback, RoundRobinFlowController)
+        assert not isinstance(fallback, PriorityFirstFlowController)
+
+    def test_fresh_controller_per_call(self, ddr2_timing):
+        """Every channel must get its own controller instance (they carry
+        per-channel token state)."""
+        factory = design_controller_factory(
+            NocDesign.GSS, ddr2_timing, gss_nodes={0},
+        )
+        a = factory(0, Port.LOCAL)
+        b = factory(0, Port.NORTH)
+        assert a is not b
+        assert a.memory is not b.memory
+
+    def test_pct_and_sti_forwarded(self, ddr2_timing):
+        factory = design_controller_factory(
+            NocDesign.GSS, ddr2_timing, gss_nodes={0}, pct=6, sti=True,
+        )
+        controller = factory(0, Port.LOCAL)
+        assert controller.memory.table.pct == 6
+        assert controller.memory.sti_enabled

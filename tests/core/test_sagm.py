@@ -1,0 +1,108 @@
+"""SAGM splitter tests, including property-based invariants."""
+
+from itertools import count
+
+import pytest
+from hypothesis import given, strategies as st
+
+from tests.helpers import make_request
+from repro.core.sagm import SagmSplitter, split_plan
+from repro.sim.config import DdrGeneration
+
+
+def split(request, ddr=DdrGeneration.DDR2, row_columns=1024):
+    splitter = SagmSplitter(ddr, row_columns=row_columns)
+    return splitter.split(request, count(1000))
+
+
+class TestSplitPlan:
+    def test_paper_bl9_example_ddr12(self):
+        """Section IV-C: a 'BL 9' packet (9 data cycles = 18 beats) splits
+        into 2+2+2+2+1 data-cycle chunks on DDR I/II."""
+        assert split_plan(18, 4) == [4, 4, 4, 4, 2]
+
+    def test_paper_bl9_example_ddr3(self):
+        assert split_plan(18, 8) == [8, 8, 2]
+
+    def test_small_requests_unsplit(self):
+        assert split_plan(3, 4) == [3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_plan(0, 4)
+        with pytest.raises(ValueError):
+            split_plan(8, 0)
+
+    @given(total=st.integers(1, 256), granularity=st.sampled_from([4, 8]))
+    def test_plan_conserves_beats(self, total, granularity):
+        plan = split_plan(total, granularity)
+        assert sum(plan) == total
+        assert all(0 < chunk <= granularity for chunk in plan)
+        assert all(chunk == granularity for chunk in plan[:-1])
+
+
+class TestSplitter:
+    def test_granularity_per_generation(self):
+        assert len(split(make_request(beats=16), DdrGeneration.DDR1)) == 4
+        assert len(split(make_request(beats=16), DdrGeneration.DDR2)) == 4
+        assert len(split(make_request(beats=16), DdrGeneration.DDR3)) == 2
+
+    def test_columns_advance_within_row(self):
+        parts = split(make_request(beats=16, column=100))
+        assert [p.column for p in parts] == [100, 104, 108, 112]
+        assert all(p.row == parts[0].row for p in parts)
+
+    def test_lineage_preserved(self):
+        request = make_request(beats=16, priority=True, demand=True)
+        parts = split(request)
+        assert all(p.parent_id == request.request_id for p in parts)
+        assert [p.split_index for p in parts] == [0, 1, 2, 3]
+        assert all(p.split_count == 4 for p in parts)
+        assert all(p.is_priority and p.is_demand for p in parts)
+
+    def test_ap_tag_only_at_row_boundary(self):
+        mid_row = split(make_request(beats=16, column=0))
+        assert not any(p.ap_tag for p in mid_row)
+        row_end = split(make_request(beats=16, column=1008))
+        assert [p.ap_tag for p in row_end] == [False, False, False, True]
+
+    def test_single_packet_tagged_at_row_end(self):
+        tagged = split(make_request(beats=4, column=1020))
+        assert tagged[0].ap_tag
+        untagged = split(make_request(beats=4, column=0))
+        assert not untagged[0].ap_tag
+
+    def test_fresh_ids_assigned(self):
+        request = make_request(beats=16)
+        parts = split(request)
+        ids = [p.request_id for p in parts]
+        assert len(set(ids)) == len(ids)
+        assert request.request_id not in ids
+
+    def test_invalid_row_columns(self):
+        with pytest.raises(ValueError):
+            SagmSplitter(DdrGeneration.DDR2, row_columns=0)
+
+    @given(
+        beats=st.integers(1, 128),
+        column=st.integers(0, 1023),
+        is_read=st.booleans(),
+        ddr=st.sampled_from(list(DdrGeneration)),
+    )
+    def test_split_conserves_request(self, beats, column, is_read, ddr):
+        beats = min(beats, 1024 - column)  # requests never span rows
+        request = make_request(beats=beats, column=column, is_read=is_read)
+        parts = split(request, ddr)
+        assert sum(p.beats for p in parts) == beats
+        assert all(p.is_read == is_read for p in parts)
+        assert all(p.bank == request.bank and p.row == request.row
+                   for p in parts)
+        # contiguous, non-overlapping column coverage
+        cursor = column
+        for part in parts:
+            assert part.column == cursor
+            cursor += part.beats
+        # at most the final part carries the AP tag
+        assert sum(p.ap_tag for p in parts) <= 1
+        if any(p.ap_tag for p in parts):
+            assert parts[-1].ap_tag

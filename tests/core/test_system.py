@@ -1,0 +1,123 @@
+"""Full-system assembly and smoke-run tests."""
+
+import pytest
+
+from repro.core.gss_flow_control import (
+    GssFlowController,
+    PfsMemoryFlowController,
+    SdramAwareFlowController,
+)
+from repro.core.system import build_system, run_config
+from repro.noc.flow_control import (
+    DualFlowController,
+    PriorityFirstFlowController,
+    RoundRobinFlowController,
+)
+from repro.noc.topology import Port
+from repro.sim.config import DdrGeneration, NocDesign, SystemConfig
+
+
+def small(**overrides):
+    defaults = dict(app="bluray", cycles=2_500, warmup=500)
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+class TestConstruction:
+    def test_conv_uses_round_robin_everywhere(self):
+        system = build_system(small(design=NocDesign.CONV))
+        controller = system.network.router(4).outputs[Port.LOCAL].controller
+        assert isinstance(controller, RoundRobinFlowController)
+
+    def test_conv_pfs_uses_priority_first(self):
+        system = build_system(small(design=NocDesign.CONV_PFS))
+        controller = system.network.router(4).outputs[Port.LOCAL].controller
+        assert isinstance(controller, PriorityFirstFlowController)
+
+    def test_sdram_aware_uses_dual_with_baseline(self):
+        system = build_system(small(design=NocDesign.SDRAM_AWARE))
+        controller = system.network.router(0).outputs[Port.LOCAL].controller
+        assert isinstance(controller, DualFlowController)
+        assert isinstance(controller.memory, SdramAwareFlowController)
+
+    def test_sdram_aware_pfs_wraps_baseline(self):
+        system = build_system(small(design=NocDesign.SDRAM_AWARE_PFS))
+        controller = system.network.router(0).outputs[Port.LOCAL].controller
+        assert isinstance(controller.memory, PfsMemoryFlowController)
+
+    def test_gss_design_deploys_gss_controllers(self):
+        system = build_system(small(design=NocDesign.GSS))
+        controller = system.network.router(0).outputs[Port.LOCAL].controller
+        assert isinstance(controller.memory, GssFlowController)
+        assert type(controller.memory) is GssFlowController
+
+    def test_partial_gss_deployment(self):
+        system = build_system(small(design=NocDesign.GSS, num_gss_routers=3,
+                                    priority_enabled=True))
+        assert len(system.gss_nodes) == 3
+        # nearest-to-memory nodes first (memory at node 0 of a 3x3 mesh)
+        assert system.gss_nodes == {0, 1, 3}
+        far_controller = system.network.router(8).outputs[Port.LOCAL].controller
+        assert isinstance(far_controller, PriorityFirstFlowController)
+
+    def test_zero_gss_routers_is_conventional(self):
+        system = build_system(small(design=NocDesign.GSS_SAGM,
+                                    num_gss_routers=0))
+        assert system.gss_nodes == set()
+
+    def test_sagm_attaches_splitter(self):
+        system = build_system(small(design=NocDesign.GSS_SAGM))
+        assert system.core_interfaces[0].splitter is not None
+        plain = build_system(small(design=NocDesign.GSS))
+        assert plain.core_interfaces[0].splitter is None
+
+    def test_memory_node_is_corner(self):
+        system = build_system(small())
+        assert system.placement.memory_node == 0
+
+    def test_cores_fill_remaining_nodes(self):
+        system = build_system(small(app="dual_dtv"))
+        nodes = {ci.node for ci in system.core_interfaces}
+        assert len(nodes) == 15
+        assert 0 not in nodes
+
+    def test_rate_scale_applied_per_generation(self):
+        ddr2 = build_system(small(ddr=DdrGeneration.DDR2))
+        ddr3 = build_system(small(ddr=DdrGeneration.DDR3, clock_mhz=533))
+        gap2 = ddr2.cores[0].spec.gap_mean
+        gap3 = ddr3.cores[0].spec.gap_mean
+        assert gap3 == pytest.approx(gap2 * 1.4)
+
+
+class TestSmokeRuns:
+    @pytest.mark.parametrize("design", list(NocDesign))
+    def test_every_design_serves_traffic(self, design):
+        metrics = run_config(small(design=design, priority_enabled=True))
+        assert metrics.completed > 10
+        assert 0.0 < metrics.utilization <= 1.0
+        assert metrics.latency_all > 0
+
+    def test_deterministic_given_seed(self):
+        a = run_config(small(design=NocDesign.GSS_SAGM, seed=7))
+        b = run_config(small(design=NocDesign.GSS_SAGM, seed=7))
+        assert a == b
+
+    def test_seed_changes_results(self):
+        a = run_config(small(design=NocDesign.GSS_SAGM, seed=7))
+        b = run_config(small(design=NocDesign.GSS_SAGM, seed=8))
+        assert a != b
+
+    def test_priority_flag_changes_behaviour(self):
+        base = run_config(small(design=NocDesign.GSS, priority_enabled=False))
+        pri = run_config(small(design=NocDesign.GSS, priority_enabled=True))
+        assert base != pri
+
+    def test_run_uses_config_cycles(self):
+        system = build_system(small())
+        metrics = system.run()
+        assert metrics.cycles == 2_500
+
+    def test_explicit_cycle_override(self):
+        system = build_system(small())
+        metrics = system.run(cycles=1_000)
+        assert metrics.cycles == 1_000

@@ -1,0 +1,93 @@
+"""Gate-count model tests: structural orderings of Table IV."""
+
+import pytest
+
+from repro.cost.gate_count import (
+    app_aware_memory_subsystem,
+    conv_flow_controller,
+    conv_memory_subsystem,
+    full_noc,
+    gss_flow_controller,
+    router,
+    sdram_aware_flow_controller,
+    sdram_aware_memory_subsystem,
+    table4,
+)
+
+
+class TestFlowControllers:
+    def test_conv_is_smallest(self):
+        conv = conv_flow_controller().total
+        assert conv < gss_flow_controller().total
+        assert conv < sdram_aware_flow_controller().total
+
+    def test_gss_smaller_than_sdram_aware(self):
+        """Table IV: the event-driven GSS controller is ~9 % smaller than
+        [4]'s despite richer function."""
+        gss = gss_flow_controller().total
+        baseline = sdram_aware_flow_controller().total
+        assert gss < baseline
+        assert 0.85 < gss / baseline < 0.98
+
+    def test_sti_counters_cost_area(self):
+        with_sti = gss_flow_controller(sti=True).total
+        without = gss_flow_controller(sti=False).total
+        assert with_sti > without
+
+    def test_more_ports_cost_more(self):
+        assert gss_flow_controller(ports=7).total > gss_flow_controller(ports=5).total
+
+
+class TestMemorySubsystems:
+    def test_conv_dominated_by_reorder_machinery(self):
+        conv = conv_memory_subsystem()
+        assert conv.items["reorder_buffers"] > conv.total * 0.4
+
+    def test_conv_roughly_3x_of_proposed(self):
+        ratio = conv_memory_subsystem().total / app_aware_memory_subsystem().total
+        assert 2.5 < ratio < 3.8  # Table IV reports 3.28
+
+    def test_ap_shrinks_pre_buffer(self):
+        base = sdram_aware_memory_subsystem()
+        proposed = app_aware_memory_subsystem()
+        assert proposed.items["pre_buffer"] < base.items["pre_buffer"]
+        assert proposed.total < base.total
+
+
+class TestFullNoc:
+    def test_orderings(self):
+        conv = full_noc("conv").total
+        baseline = full_noc("sdram-aware").total
+        proposed = full_noc("gss+sagm+sti").total
+        assert proposed < baseline < conv
+
+    def test_conv_ratio_matches_paper_ballpark(self):
+        ratio = full_noc("conv").total / full_noc("gss+sagm+sti").total
+        assert 1.3 < ratio < 1.7  # Table IV reports 1.51
+
+    def test_partial_gss_deployment_cheaper_than_full(self):
+        three = full_noc("gss+sagm+sti", gss_routers=3).total
+        nine = full_noc("gss+sagm+sti", gss_routers=9).total
+        assert three < nine
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ValueError):
+            full_noc("mystery")
+
+
+class TestTable4:
+    def test_covers_all_modules_and_designs(self):
+        data = table4()
+        assert set(data) == {
+            "flow_controller", "router", "memory_subsystem", "noc_3x3"
+        }
+        for row in data.values():
+            assert set(row) == {"conv", "sdram-aware", "gss+sagm+sti"}
+
+    def test_module_totals_positive(self):
+        for row in table4().values():
+            assert all(v > 0 for v in row.values())
+
+    def test_itemization_sums_to_total(self):
+        module = gss_flow_controller()
+        assert module.total == sum(module.items.values())

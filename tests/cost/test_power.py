@@ -1,0 +1,72 @@
+"""Power model tests: Table V scaling behaviour."""
+
+import pytest
+
+from repro.cost.power import TABLE5_POINTS, estimate_power, table5
+
+
+class TestScaling:
+    def test_power_scales_with_clock(self):
+        low = estimate_power("conv", "bluray", 200).watts
+        high = estimate_power("conv", "bluray", 400).watts
+        assert high == pytest.approx(2 * low)
+
+    def test_bigger_mesh_burns_more(self):
+        small = estimate_power("conv", "bluray", 400).watts
+        big = estimate_power("conv", "dual_dtv", 400).watts
+        assert big > small
+
+    def test_design_ordering(self):
+        for app, mhz in TABLE5_POINTS:
+            conv = estimate_power("conv", app, mhz).watts
+            baseline = estimate_power("sdram-aware", app, mhz).watts
+            ours = estimate_power("gss+sagm+sti", app, mhz).watts
+            assert ours < baseline < conv
+
+    def test_conv_ratio_in_paper_range(self):
+        """Table V: CONV burns ~1.3-1.55x the proposed design."""
+        for app, mhz in TABLE5_POINTS:
+            ratio = (
+                estimate_power("conv", app, mhz).watts
+                / estimate_power("gss+sagm+sti", app, mhz).watts
+            )
+            assert 1.25 < ratio < 1.6
+
+
+class TestActivity:
+    def test_higher_activity_more_power(self):
+        idle = estimate_power("conv", "bluray", 400, activity=0.2).watts
+        busy = estimate_power("conv", "bluray", 400, activity=0.9).watts
+        assert busy > idle
+
+    def test_activity_bounds_checked(self):
+        with pytest.raises(ValueError):
+            estimate_power("conv", "bluray", 400, activity=1.5)
+
+    def test_nominal_matches_calibration_activity(self):
+        nominal = estimate_power("conv", "bluray", 400).watts
+        explicit = estimate_power("conv", "bluray", 400, activity=0.65).watts
+        assert explicit == pytest.approx(nominal)
+
+
+class TestValidation:
+    def test_unknown_app(self):
+        with pytest.raises(ValueError):
+            estimate_power("conv", "mystery", 400)
+
+    def test_nonpositive_clock(self):
+        with pytest.raises(ValueError):
+            estimate_power("conv", "bluray", 0)
+
+
+class TestTable5:
+    def test_shape(self):
+        data = table5()
+        assert len(data) == 3
+        for row in data.values():
+            assert set(row) == {"conv", "sdram-aware", "gss+sagm+sti"}
+            assert all(v > 0 for v in row.values())
+
+    def test_milliwatt_conversion(self):
+        estimate = estimate_power("conv", "bluray", 400)
+        assert estimate.milliwatts == pytest.approx(estimate.watts * 1e3)

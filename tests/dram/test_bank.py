@@ -1,0 +1,109 @@
+"""Bank state-machine tests: legality windows and auto-precharge."""
+
+import pytest
+
+from repro.dram.bank import Bank, BankState, TimingViolation
+
+
+@pytest.fixture
+def bank(ddr2_timing):
+    return Bank(0, ddr2_timing)
+
+
+class TestActivate:
+    def test_activate_opens_row(self, bank):
+        bank.activate(0, row=5)
+        assert bank.state is BankState.ACTIVE
+        assert bank.open_row == 5
+        assert bank.activations == 1
+
+    def test_cannot_activate_active_bank(self, bank):
+        bank.activate(0, row=5)
+        assert not bank.can_activate(100)
+        with pytest.raises(TimingViolation):
+            bank.activate(100, row=6)
+
+    def test_trcd_gates_cas(self, bank, ddr2_timing):
+        bank.activate(0, row=5)
+        assert not bank.can_cas(ddr2_timing.t_rcd - 1, row=5)
+        assert bank.can_cas(ddr2_timing.t_rcd, row=5)
+
+    def test_cas_requires_matching_row(self, bank, ddr2_timing):
+        bank.activate(0, row=5)
+        assert not bank.can_cas(ddr2_timing.t_rcd, row=6)
+
+
+class TestPrecharge:
+    def test_tras_gates_precharge(self, bank, ddr2_timing):
+        bank.activate(0, row=5)
+        assert not bank.can_precharge(ddr2_timing.t_ras - 1)
+        assert bank.can_precharge(ddr2_timing.t_ras)
+
+    def test_precharge_closes_and_respects_trp(self, bank, ddr2_timing):
+        bank.activate(0, row=5)
+        cycle = ddr2_timing.t_ras
+        bank.precharge(cycle)
+        assert bank.state is BankState.IDLE
+        assert bank.open_row is None
+        assert not bank.can_activate(cycle + ddr2_timing.t_rp - 1)
+        assert bank.can_activate(cycle + ddr2_timing.t_rp)
+
+    def test_write_recovery_extends_precharge(self, bank, ddr2_timing):
+        bank.activate(0, row=5)
+        cas_cycle = ddr2_timing.t_rcd
+        data_end = cas_cycle + ddr2_timing.write_latency + 3
+        bank.cas(cas_cycle, row=5, is_write=True, data_end=data_end,
+                 auto_precharge=False)
+        earliest = data_end + ddr2_timing.t_wr + 1
+        assert not bank.can_precharge(earliest - 1)
+        assert bank.can_precharge(max(earliest, ddr2_timing.t_ras))
+
+    def test_precharge_on_idle_bank_illegal(self, bank):
+        with pytest.raises(TimingViolation):
+            bank.precharge(0)
+
+
+class TestAutoPrecharge:
+    def test_ap_closes_bank_after_window(self, bank, ddr2_timing):
+        bank.activate(0, row=5)
+        cas_cycle = ddr2_timing.t_rcd
+        data_end = cas_cycle + ddr2_timing.cas_latency + 3
+        bank.cas(cas_cycle, row=5, is_write=False, data_end=data_end,
+                 auto_precharge=True)
+        close_at = data_end + ddr2_timing.t_rp + 1
+        assert not bank.can_activate(close_at - 1)
+        assert bank.can_activate(close_at)
+        # the AP consumed no PRE command but still counts as a precharge
+        assert bank.precharges == 1
+
+    def test_ap_blocks_further_cas(self, bank, ddr2_timing):
+        bank.activate(0, row=5)
+        cas_cycle = ddr2_timing.t_rcd
+        data_end = cas_cycle + ddr2_timing.cas_latency + 1
+        bank.cas(cas_cycle, row=5, is_write=False, data_end=data_end,
+                 auto_precharge=True)
+        assert not bank.can_cas(cas_cycle + 1, row=5)
+
+    def test_write_ap_uses_write_recovery(self, bank, ddr2_timing):
+        bank.activate(0, row=5)
+        cas_cycle = ddr2_timing.t_rcd
+        data_end = cas_cycle + ddr2_timing.write_latency + 1
+        bank.cas(cas_cycle, row=5, is_write=True, data_end=data_end,
+                 auto_precharge=True)
+        close_at = data_end + ddr2_timing.t_wr + ddr2_timing.t_rp + 1
+        assert not bank.can_activate(close_at - 1)
+        assert bank.can_activate(close_at)
+
+    def test_row_is_open_false_with_pending_ap(self, bank, ddr2_timing):
+        bank.activate(0, row=5)
+        cas_cycle = ddr2_timing.t_rcd
+        data_end = cas_cycle + ddr2_timing.cas_latency + 1
+        assert bank.row_is_open(5, cas_cycle)
+        bank.cas(cas_cycle, row=5, is_write=False, data_end=data_end,
+                 auto_precharge=True)
+        assert not bank.row_is_open(5, cas_cycle + 1)
+
+
+def test_cas_before_activate_illegal(bank):
+    with pytest.raises(TimingViolation):
+        bank.cas(0, row=5, is_write=False, data_end=10, auto_precharge=False)

@@ -1,0 +1,62 @@
+"""DramCommand validation tests."""
+
+import pytest
+
+from repro.dram.commands import CommandKind, DramCommand
+
+
+def test_cas_kinds_flagged():
+    assert CommandKind.READ.is_cas
+    assert CommandKind.WRITE.is_cas
+    assert not CommandKind.ACTIVATE.is_cas
+    assert not CommandKind.PRECHARGE.is_cas
+
+
+def test_activate_requires_row():
+    with pytest.raises(ValueError):
+        DramCommand(kind=CommandKind.ACTIVATE, bank=0)
+    DramCommand(kind=CommandKind.ACTIVATE, bank=0, row=5)
+
+
+def test_cas_requires_burst():
+    with pytest.raises(ValueError):
+        DramCommand(kind=CommandKind.READ, bank=0, row=0, column=0)
+    DramCommand(kind=CommandKind.READ, bank=0, row=0, column=0, burst_beats=8)
+
+
+def test_auto_precharge_only_on_cas():
+    with pytest.raises(ValueError):
+        DramCommand(kind=CommandKind.PRECHARGE, bank=0, auto_precharge=True)
+    DramCommand(
+        kind=CommandKind.WRITE, bank=0, row=0, column=0,
+        burst_beats=8, auto_precharge=True,
+    )
+
+
+def test_useful_beats_bounded_by_burst():
+    with pytest.raises(ValueError):
+        DramCommand(
+            kind=CommandKind.READ, bank=0, row=0, column=0,
+            burst_beats=4, useful_beats=5,
+        )
+
+
+def test_negative_bank_rejected():
+    with pytest.raises(ValueError):
+        DramCommand(kind=CommandKind.PRECHARGE, bank=-1)
+
+
+def test_str_mentions_ap_and_burst():
+    command = DramCommand(
+        kind=CommandKind.READ, bank=2, row=7, column=0,
+        burst_beats=4, auto_precharge=True,
+    )
+    text = str(command)
+    assert "RD" in text and "b2" in text and "BL4" in text and "AP" in text
+
+
+def test_read_write_flags():
+    read = DramCommand(kind=CommandKind.READ, bank=0, row=0, column=0, burst_beats=4)
+    write = DramCommand(kind=CommandKind.WRITE, bank=0, row=0, column=0, burst_beats=4)
+    assert read.is_read and not read.is_write
+    assert write.is_write and not write.is_read

@@ -1,0 +1,53 @@
+"""Databahn-flavoured controller tests."""
+
+import pytest
+
+from tests.helpers import make_request
+from repro.dram.controller import PagePolicy
+from repro.dram.databahn import DATABAHN_LOOKAHEAD, DatabahnController
+from repro.dram.device import SdramDevice
+
+
+def test_defaults_match_product_description(ddr2_timing):
+    controller = DatabahnController(SdramDevice(ddr2_timing))
+    assert controller.window_size == DATABAHN_LOOKAHEAD
+    assert controller.page_policy is PagePolicy.OPEN_PAGE
+    assert controller.burst_beats == 8
+
+
+def test_lookahead_prepares_pages_in_advance(ddr2_timing):
+    """With a deep window, the ACT for a later request issues while an
+    earlier burst still owns the data bus."""
+    device = SdramDevice(ddr2_timing)
+    controller = DatabahnController(device)
+    requests = [make_request(bank=i, row=i, beats=32) for i in range(4)]
+    log = []
+    pending = list(requests)
+    cycle = 0
+    served = 0
+    while served < 4 and cycle < 2_000:
+        while pending and controller.has_space:
+            controller.accept(pending.pop(0), cycle)
+        command = controller.tick(cycle)
+        if command is not None:
+            log.append((cycle, command))
+        served += len(controller.drain_finished())
+        cycle += 1
+    act_cycles = {c.bank: cycle for cycle, c in log if c.kind.value == "ACT"}
+    first_cas_per_bank = {}
+    for cycle, c in log:
+        if c.kind.is_cas and c.bank not in first_cas_per_bank:
+            first_cas_per_bank[c.bank] = cycle
+    # bank 3's activation happens before bank 0 finishes its 4 bursts
+    last_bank0_cas = max(cycle for cycle, c in log
+                         if c.kind.is_cas and c.bank == 0)
+    assert act_cycles[3] < last_bank0_cas
+
+
+def test_deep_window_accepts_more_than_thin_engine(ddr2_timing):
+    controller = DatabahnController(SdramDevice(ddr2_timing))
+    for i in range(DATABAHN_LOOKAHEAD):
+        controller.accept(make_request(bank=i % 8), 0)
+    assert not controller.has_space
+    with pytest.raises(RuntimeError):
+        controller.accept(make_request(), 0)

@@ -1,0 +1,136 @@
+"""MemMax thread scheduler tests."""
+
+import pytest
+
+from tests.helpers import make_request
+from repro.dram.memmax import MemMaxScheduler, ThreadQueue
+
+
+class TestThreadQueue:
+    def test_write_occupies_data_buffer(self):
+        queue = ThreadQueue(0, capacity_flits=32)
+        write = make_request(is_read=False, beats=64)
+        assert queue.can_accept(write)
+        queue.push(write)
+        assert queue.data_occupancy_flits == 32
+        # data buffer now full: another write is refused, a read accepted
+        assert not queue.can_accept(make_request(is_read=False, beats=2))
+        assert queue.can_accept(make_request(is_read=True, beats=64))
+
+    def test_request_buffer_bounded(self):
+        queue = ThreadQueue(0, capacity_flits=4)
+        for _ in range(4):
+            queue.push(make_request(is_read=True))
+        assert not queue.can_accept(make_request(is_read=True))
+
+    def test_pop_restores_capacity(self):
+        queue = ThreadQueue(0, capacity_flits=32)
+        queue.push(make_request(is_read=False, beats=64))
+        queue.pop()
+        assert queue.data_occupancy_flits == 0
+        assert queue.can_accept(make_request(is_read=False, beats=64))
+
+    def test_overflow_raises(self):
+        queue = ThreadQueue(0, capacity_flits=1)
+        queue.push(make_request())
+        with pytest.raises(RuntimeError):
+            queue.push(make_request())
+
+
+class TestScheduler:
+    def test_masters_hash_to_threads(self):
+        scheduler = MemMaxScheduler(threads=4)
+        assert scheduler.thread_for(make_request(master=0)).index == 0
+        assert scheduler.thread_for(make_request(master=5)).index == 1
+
+    def test_round_robin_across_threads(self):
+        scheduler = MemMaxScheduler(threads=4)
+        for master in range(4):
+            scheduler.push(make_request(master=master, bank=master, row=0))
+        order = [scheduler.pop_next().master for _ in range(4)]
+        assert order == [0, 1, 2, 3]
+
+    def test_empty_pop_returns_none(self):
+        assert MemMaxScheduler().pop_next() is None
+
+    def test_in_order_within_thread(self):
+        scheduler = MemMaxScheduler(threads=4)
+        first = make_request(master=0, bank=0, row=0)
+        second = make_request(master=0, bank=1, row=0)
+        scheduler.push(first)
+        scheduler.push(second)
+        assert scheduler.pop_next() is first
+        assert scheduler.pop_next() is second
+
+    def test_priority_first_mode(self):
+        scheduler = MemMaxScheduler(threads=4, priority_first=True)
+        scheduler.push(make_request(master=0, bank=0))
+        priority = make_request(master=1, bank=1, priority=True)
+        scheduler.push(priority)
+        assert scheduler.pop_next() is priority
+
+    def test_sdram_friendly_skip_avoids_conflict(self):
+        scheduler = MemMaxScheduler(threads=4, sdram_friendly_skip=True)
+        scheduler.push(make_request(master=0, bank=0, row=0))
+        conflicting = make_request(master=1, bank=0, row=1)
+        clean = make_request(master=2, bank=3, row=0)
+        scheduler.push(conflicting)
+        scheduler.push(clean)
+        scheduler.pop_next()  # master 0 establishes last = (bank0, row0)
+        assert scheduler.pop_next() is clean
+
+    def test_bandwidth_regulated_mode_ignores_sdram_state(self):
+        scheduler = MemMaxScheduler(threads=4, sdram_friendly_skip=False)
+        scheduler.push(make_request(master=0, bank=0, row=0))
+        conflicting = make_request(master=1, bank=0, row=1)
+        clean = make_request(master=2, bank=3, row=0)
+        scheduler.push(conflicting)
+        scheduler.push(clean)
+        scheduler.pop_next()
+        # strict round-robin: thread 1 is next regardless of the conflict
+        assert scheduler.pop_next() is conflicting
+
+    def test_starvation_override(self):
+        scheduler = MemMaxScheduler(threads=2, sdram_friendly_skip=True)
+        starved = make_request(master=1, bank=0, row=99)
+        scheduler.push(starved)
+        # keep feeding thread 0 with clean requests; thread 1's head
+        # conflicts forever but must eventually win by aging
+        winners = []
+        for i in range(MemMaxScheduler.STARVATION_ROUNDS + 2):
+            scheduler.push(make_request(master=0, bank=0, row=0))
+            winners.append(scheduler.pop_next())
+        assert starved in winners
+
+    def test_pending_counts_all_threads(self):
+        scheduler = MemMaxScheduler(threads=4)
+        scheduler.push(make_request(master=0))
+        scheduler.push(make_request(master=1))
+        assert scheduler.pending == 2
+
+    def test_needs_at_least_one_thread(self):
+        with pytest.raises(ValueError):
+            MemMaxScheduler(threads=0)
+
+
+class TestSkipFallbacks:
+    def test_skip_falls_back_to_no_conflict(self):
+        """When every head contends on direction, the arbiter still avoids
+        the bank conflict (second fallback tier)."""
+        scheduler = MemMaxScheduler(threads=4, sdram_friendly_skip=True)
+        scheduler.push(make_request(master=0, bank=0, row=0, is_read=True))
+        # both remaining heads flip direction; one also bank-conflicts
+        conflicting = make_request(master=1, bank=0, row=9, is_read=False)
+        turnaround_only = make_request(master=2, bank=5, row=0, is_read=False)
+        scheduler.push(conflicting)
+        scheduler.push(turnaround_only)
+        scheduler.pop_next()  # establishes last = bank0/row0 read
+        assert scheduler.pop_next() is turnaround_only
+
+    def test_skip_last_resort_takes_conflict(self):
+        scheduler = MemMaxScheduler(threads=4, sdram_friendly_skip=True)
+        scheduler.push(make_request(master=0, bank=0, row=0))
+        conflicting = make_request(master=1, bank=0, row=9)
+        scheduler.push(conflicting)
+        scheduler.pop_next()
+        assert scheduler.pop_next() is conflicting

@@ -1,0 +1,130 @@
+"""Memory subsystem assembly tests."""
+
+import pytest
+
+from tests.helpers import make_request
+from repro.dram.controller import PagePolicy
+from repro.dram.device import SdramDevice
+from repro.dram.subsystem import (
+    ConvMemorySubsystem,
+    ThinMemorySubsystem,
+    build_memory_subsystem,
+)
+from repro.sim.config import DdrGeneration, NocDesign, SystemConfig
+
+
+def drive(subsystem, requests, max_cycles=5000):
+    pending = list(requests)
+    finished = []
+    cycle = 0
+    while (pending or not subsystem.idle) and cycle < max_cycles:
+        while pending and subsystem.can_accept(pending[0]):
+            subsystem.enqueue(pending.pop(0), cycle)
+        subsystem.tick(cycle)
+        finished.extend(subsystem.drain_finished())
+        cycle += 1
+    return finished, cycle
+
+
+class TestThinSubsystem:
+    def test_serves_batch_in_order(self, ddr2_timing):
+        device = SdramDevice(ddr2_timing)
+        subsystem = ThinMemorySubsystem(device)
+        requests = [make_request(bank=i % 4, row=i, beats=8) for i in range(10)]
+        ids = [r.request_id for r in requests]
+        finished, _ = drive(subsystem, requests)
+        assert [f.request.request_id for f in finished] == ids
+
+    def test_backpressure_when_full(self, ddr2_timing):
+        device = SdramDevice(ddr2_timing)
+        subsystem = ThinMemorySubsystem(device, input_capacity=2)
+        subsystem.enqueue(make_request(), 0)
+        subsystem.enqueue(make_request(), 0)
+        assert not subsystem.can_accept(make_request())
+        with pytest.raises(RuntimeError):
+            subsystem.enqueue(make_request(), 0)
+
+    def test_input_capacity_positive(self, ddr2_timing):
+        with pytest.raises(ValueError):
+            ThinMemorySubsystem(SdramDevice(ddr2_timing), input_capacity=0)
+
+    def test_idle_reflects_pending_work(self, ddr2_timing):
+        device = SdramDevice(ddr2_timing)
+        subsystem = ThinMemorySubsystem(device)
+        assert subsystem.idle
+        subsystem.enqueue(make_request(), 0)
+        assert not subsystem.idle
+
+
+class TestConvSubsystem:
+    def test_serves_batch(self, ddr2_timing):
+        device = SdramDevice(ddr2_timing)
+        subsystem = ConvMemorySubsystem(device)
+        requests = [make_request(master=i % 4, bank=i % 8, beats=8)
+                    for i in range(12)]
+        finished, _ = drive(subsystem, requests)
+        assert len(finished) == 12
+
+    def test_pipeline_latency_added(self, ddr2_timing):
+        thin_device = SdramDevice(ddr2_timing)
+        conv_device = SdramDevice(ddr2_timing)
+        thin = ThinMemorySubsystem(thin_device)
+        conv = ConvMemorySubsystem(conv_device)
+        request = make_request(beats=8)
+        thin_done, _ = drive(thin, [make_request(beats=8)])
+        conv_done, _ = drive(conv, [make_request(beats=8)])
+        extra = conv_done[0].data_ready_cycle - thin_done[0].data_ready_cycle
+        staging = (8 + 1) // 2
+        assert extra == ConvMemorySubsystem.PIPELINE_LATENCY + staging
+
+    def test_large_write_admitted(self, ddr2_timing):
+        device = SdramDevice(ddr2_timing)
+        subsystem = ConvMemorySubsystem(device)
+        big = make_request(is_read=False, beats=64)
+        assert subsystem.can_accept(big)
+        finished, _ = drive(subsystem, [big])
+        assert len(finished) == 1
+
+
+class TestBuilder:
+    def test_conv_designs_get_memmax(self):
+        config = SystemConfig(design=NocDesign.CONV)
+        _, subsystem = build_memory_subsystem(config)
+        assert isinstance(subsystem, ConvMemorySubsystem)
+        assert not subsystem.scheduler.priority_first
+
+    def test_conv_pfs_enables_priority(self):
+        config = SystemConfig(design=NocDesign.CONV_PFS)
+        _, subsystem = build_memory_subsystem(config)
+        assert subsystem.scheduler.priority_first
+
+    def test_sdram_aware_gets_thin_open_page(self):
+        config = SystemConfig(design=NocDesign.SDRAM_AWARE)
+        _, subsystem = build_memory_subsystem(config)
+        assert isinstance(subsystem, ThinMemorySubsystem)
+        assert subsystem.engine.page_policy is PagePolicy.OPEN_PAGE
+        assert subsystem.engine.burst_beats == 8
+
+    def test_sagm_ddr2_uses_bl4_partially_open(self):
+        config = SystemConfig(design=NocDesign.GSS_SAGM, ddr=DdrGeneration.DDR2)
+        _, subsystem = build_memory_subsystem(config)
+        assert subsystem.engine.burst_beats == 4
+        assert subsystem.engine.page_policy is PagePolicy.PARTIALLY_OPEN
+        assert not subsystem.engine.otf
+
+    def test_sagm_ddr3_uses_otf(self):
+        config = SystemConfig(
+            design=NocDesign.GSS_SAGM, ddr=DdrGeneration.DDR3, clock_mhz=800
+        )
+        _, subsystem = build_memory_subsystem(config)
+        assert subsystem.engine.burst_beats == 8
+        assert subsystem.engine.otf
+
+    def test_sagm_window_scaled_by_data_time(self):
+        bl4 = build_memory_subsystem(
+            SystemConfig(design=NocDesign.GSS_SAGM, ddr=DdrGeneration.DDR2)
+        )[1]
+        bl8 = build_memory_subsystem(
+            SystemConfig(design=NocDesign.GSS, ddr=DdrGeneration.DDR2)
+        )[1]
+        assert bl4.engine.window_size == 2 * bl8.engine.window_size

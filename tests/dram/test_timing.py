@@ -1,0 +1,81 @@
+"""DDR timing derivation tests."""
+
+import pytest
+
+from repro.dram.timing import DramTiming, GENERATION_TIMING
+from repro.sim.config import DdrGeneration
+
+
+class TestClockDerivation:
+    def test_paper_example_ddr3_800_write_to_precharge(self):
+        """Section IV-B: at 800 MHz DDR III it takes 23 cycles to deactivate
+        a bank after writing data (tWR + tRP = 12 + 11)."""
+        timing = DramTiming.for_clock(DdrGeneration.DDR3, 800)
+        assert timing.t_wr == 12
+        assert timing.t_rp == 11
+        assert timing.write_to_precharge == 23
+
+    def test_cycles_grow_with_clock(self):
+        low = DramTiming.for_clock(DdrGeneration.DDR3, 533)
+        high = DramTiming.for_clock(DdrGeneration.DDR3, 800)
+        for field in ("t_rcd", "t_rp", "t_ras", "t_wr", "cas_latency"):
+            assert getattr(high, field) >= getattr(low, field)
+
+    @pytest.mark.parametrize("generation,clock", [
+        (DdrGeneration.DDR1, 133), (DdrGeneration.DDR1, 200),
+        (DdrGeneration.DDR2, 266), (DdrGeneration.DDR2, 400),
+        (DdrGeneration.DDR3, 533), (DdrGeneration.DDR3, 800),
+    ])
+    def test_all_paper_clock_points_build(self, generation, clock):
+        timing = DramTiming.for_clock(generation, clock)
+        assert timing.t_rcd >= 1
+        assert timing.cas_latency >= timing.write_latency
+        assert timing.banks in (4, 8)
+
+    def test_rejects_nonpositive_clock(self):
+        with pytest.raises(ValueError):
+            DramTiming.for_clock(DdrGeneration.DDR2, 0)
+
+    def test_bank_counts_per_generation(self):
+        assert DramTiming.for_clock(DdrGeneration.DDR1, 200).banks == 4
+        assert DramTiming.for_clock(DdrGeneration.DDR2, 400).banks == 8
+        assert DramTiming.for_clock(DdrGeneration.DDR3, 800).banks == 8
+
+    def test_tccd_floors_per_generation(self):
+        """Section V-A: DDR III's tCCD=4 makes it behave like BL 8 even in
+        BL 4 mode — the reason SAGM gains less there."""
+        assert DramTiming.for_clock(DdrGeneration.DDR1, 200).t_ccd == 1
+        assert DramTiming.for_clock(DdrGeneration.DDR2, 400).t_ccd == 2
+        assert DramTiming.for_clock(DdrGeneration.DDR3, 800).t_ccd == 4
+
+
+class TestBurstSupport:
+    def test_burst_cycles_two_beats_per_cycle(self):
+        timing = DramTiming.for_clock(DdrGeneration.DDR2, 333)
+        assert timing.burst_cycles(8) == 4
+        assert timing.burst_cycles(4) == 2
+        assert timing.burst_cycles(1) == 1
+
+    def test_burst_cycles_rejects_nonpositive(self):
+        timing = DramTiming.for_clock(DdrGeneration.DDR2, 333)
+        with pytest.raises(ValueError):
+            timing.burst_cycles(0)
+
+    def test_supported_bursts(self):
+        ddr1 = DramTiming.for_clock(DdrGeneration.DDR1, 200)
+        ddr1.validate_burst(2)
+        ddr1.validate_burst(4)
+        ddr1.validate_burst(8)
+        ddr3 = DramTiming.for_clock(DdrGeneration.DDR3, 800)
+        ddr3.validate_burst(4)
+        ddr3.validate_burst(8)
+        with pytest.raises(ValueError):
+            ddr3.validate_burst(2)
+
+    def test_read_to_precharge_is_trp(self):
+        timing = DramTiming.for_clock(DdrGeneration.DDR2, 333)
+        assert timing.read_to_precharge == timing.t_rp
+
+
+def test_generation_table_covers_all_generations():
+    assert set(GENERATION_TIMING) == set(DdrGeneration)

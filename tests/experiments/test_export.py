@@ -1,0 +1,46 @@
+"""JSON export tests."""
+
+import json
+
+from repro.experiments.export import (
+    comparison_to_dict,
+    export_all,
+    fig8_to_dict,
+    table3_to_dict,
+)
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.table1 import run_table1
+from repro.experiments.table3 import run_table3
+
+TINY = dict(cycles=1_200, warmup=200, seeds=(2010,))
+
+
+def test_comparison_serializes():
+    data = comparison_to_dict(run_table1(**TINY))
+    assert len(data["cells"]) == 36
+    assert "gss+sagm" in data["averages"]
+    json.dumps(data)  # must be JSON-safe
+
+
+def test_table3_serializes():
+    data = table3_to_dict(run_table3(**TINY))
+    assert len(data["rows"]) == 3
+    json.dumps(data)
+
+
+def test_fig8_serializes():
+    data = fig8_to_dict(run_fig8(max_routers=1, **TINY))
+    assert len(data["curves"]) == 3
+    json.dumps(data)
+
+
+def test_export_all_writes_document(tmp_path):
+    path = tmp_path / "results.json"
+    document = export_all(path, **TINY)
+    assert path.exists()
+    loaded = json.loads(path.read_text())
+    assert set(loaded) == {
+        "table1", "table2", "table3", "table4", "table5", "fig8"
+    }
+    assert loaded["table4"]["noc_3x3"]["conv"] > 0
+    assert document["table1"]["averages"]

@@ -1,0 +1,58 @@
+"""Report formatting tests."""
+
+from repro.experiments.report import format_series, format_table, ratio_footer
+
+
+class TestFormatTable:
+    def test_contains_title_headers_rows(self):
+        text = format_table(
+            "My Table", ["col1", "col2"], [["a", 1.5], ["b", 2.0]]
+        )
+        assert text.startswith("My Table")
+        assert "col1" in text and "col2" in text
+        assert "1.500" in text
+
+    def test_footer_separated(self):
+        text = format_table(
+            "T", ["x"], [["row"]], footer=[["Average"]]
+        )
+        assert text.count("-") > 0
+        assert "Average" in text
+
+    def test_large_floats_one_decimal(self):
+        text = format_table("T", ["x"], [[123.456]])
+        assert "123.5" in text
+
+    def test_columns_aligned(self):
+        text = format_table("T", ["a", "b"], [["xxxxxxx", 1.0], ["y", 2.0]])
+        lines = text.splitlines()[1:]
+        positions = {line.index("b") if "b" in line else None
+                     for line in lines[:1]}
+        assert None not in positions
+
+
+class TestFormatSeries:
+    def test_series_rendered_per_x(self):
+        text = format_series(
+            "Fig", "k", {"util": [0.1, 0.2], "lat": [100.0, 90.0]}, [0, 1]
+        )
+        assert "util" in text and "lat" in text
+        assert "0.100" in text and "90.0" in text
+
+
+class TestRatioFooter:
+    def test_ratios_vs_baseline(self):
+        averages = {
+            "conv": {"u": 0.5},
+            "gss": {"u": 0.6},
+        }
+        rows = ratio_footer(averages, baseline="conv", metrics=["u"])
+        assert rows[0][0] == "Average"
+        assert rows[1][0] == "Ratio"
+        assert rows[1][1] == 1.0
+        assert rows[1][2] == 1.2
+
+    def test_zero_baseline_safe(self):
+        averages = {"conv": {"u": 0.0}, "gss": {"u": 1.0}}
+        rows = ratio_footer(averages, baseline="conv", metrics=["u"])
+        assert rows[1][1] == 0.0

@@ -1,0 +1,28 @@
+"""Spread measurement tests."""
+
+import pytest
+
+from repro.experiments.spread import measure_spread, render
+from repro.sim.config import SystemConfig
+
+
+def test_spread_over_seeds():
+    config = SystemConfig(app="bluray", cycles=1_500, warmup=300)
+    spread = measure_spread(config, seeds=(1, 2, 3))
+    util = spread["utilization"]
+    assert util.samples == 3
+    assert util.minimum <= util.mean <= util.maximum
+    assert util.stdev >= 0
+    assert 0 < util.mean < 1
+
+
+def test_requires_multiple_seeds():
+    config = SystemConfig(app="bluray", cycles=1_200, warmup=200)
+    with pytest.raises(ValueError):
+        measure_spread(config, seeds=(1,))
+
+
+def test_render_lists_metrics():
+    config = SystemConfig(app="bluray", cycles=1_200, warmup=200)
+    text = render(measure_spread(config, seeds=(1, 2)))
+    assert "utilization" in text and "latency_all" in text

@@ -1,0 +1,33 @@
+"""Shared factories for the test suite."""
+
+from itertools import count
+
+from repro.dram.request import MemoryRequest, ServiceClass
+
+_ids = count(1)
+
+
+def make_request(
+    bank=0,
+    row=0,
+    column=0,
+    beats=8,
+    is_read=True,
+    priority=False,
+    demand=False,
+    master=0,
+    **kwargs,
+):
+    """Factory for MemoryRequests with sensible defaults."""
+    return MemoryRequest(
+        request_id=kwargs.pop("request_id", next(_ids)),
+        master=master,
+        bank=bank,
+        row=row,
+        column=column,
+        beats=beats,
+        is_read=is_read,
+        service=ServiceClass.PRIORITY if priority else ServiceClass.BEST_EFFORT,
+        is_demand=demand,
+        **kwargs,
+    )

@@ -1,0 +1,117 @@
+"""West-first minimal adaptive routing tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from tests.helpers import make_request
+from repro.noc.flow_control import RoundRobinFlowController
+from repro.noc.network import MeshNetwork
+from repro.noc.packet import request_packet
+from repro.noc.routing import RoutingPolicy, admissible_ports, xy_route
+from repro.noc.topology import Mesh, Port
+
+
+class TestAdmissiblePorts:
+    def test_xy_returns_single_port(self):
+        mesh = Mesh(3, 3)
+        ports = admissible_ports(mesh, 4, 0, RoutingPolicy.XY)
+        assert ports == [xy_route(mesh, 4, 0)]
+
+    def test_local_at_destination(self):
+        mesh = Mesh(3, 3)
+        for policy in RoutingPolicy:
+            assert admissible_ports(mesh, 4, 4, policy) == [Port.LOCAL]
+
+    def test_westward_is_deterministic(self):
+        """West-first: all west hops first, no adaptivity while west remains."""
+        mesh = Mesh(3, 3)
+        assert admissible_ports(mesh, 5, 0, RoutingPolicy.WEST_FIRST) == [Port.WEST]
+
+    def test_east_south_quadrant_is_adaptive(self):
+        mesh = Mesh(3, 3)
+        ports = admissible_ports(mesh, 0, 8, RoutingPolicy.WEST_FIRST)
+        assert set(ports) == {Port.EAST, Port.SOUTH}
+
+    def test_aligned_destinations_single_port(self):
+        mesh = Mesh(3, 3)
+        assert admissible_ports(mesh, 0, 2, RoutingPolicy.WEST_FIRST) == [Port.EAST]
+        assert admissible_ports(mesh, 0, 6, RoutingPolicy.WEST_FIRST) == [Port.SOUTH]
+
+    @given(st.integers(2, 5), st.integers(2, 5), st.data())
+    def test_all_admissible_ports_are_minimal(self, width, height, data):
+        mesh = Mesh(width, height)
+        node = data.draw(st.integers(0, mesh.num_nodes - 1))
+        dst = data.draw(st.integers(0, mesh.num_nodes - 1))
+        for port in admissible_ports(mesh, node, dst, RoutingPolicy.WEST_FIRST):
+            if port is Port.LOCAL:
+                assert node == dst
+                continue
+            nxt = mesh.neighbor(node, port)
+            assert nxt is not None
+            assert mesh.hop_distance(nxt, dst) == mesh.hop_distance(node, dst) - 1
+
+    @given(st.integers(2, 5), st.integers(2, 5), st.data())
+    def test_turn_model_never_turns_into_west(self, width, height, data):
+        """The west-first invariant: WEST is only admissible while *all*
+        remaining movement west is pending, i.e. no packet ever turns from
+        N/S/E travel back into WEST — the cycles that would deadlock."""
+        mesh = Mesh(width, height)
+        node = data.draw(st.integers(0, mesh.num_nodes - 1))
+        dst = data.draw(st.integers(0, mesh.num_nodes - 1))
+        ports = admissible_ports(mesh, node, dst, RoutingPolicy.WEST_FIRST)
+        if Port.WEST in ports:
+            assert ports == [Port.WEST]
+
+
+class TestAdaptiveNetwork:
+    def build(self):
+        return MeshNetwork(
+            Mesh(3, 3),
+            controller_factory=lambda n, p: RoundRobinFlowController(),
+            buffer_flits=12,
+            local_buffer_flits=64,
+            routing_policy=RoutingPolicy.WEST_FIRST,
+        )
+
+    def test_delivery_all_pairs(self):
+        network = self.build()
+        pid = 0
+        expected = {}
+        for src in range(9):
+            for dst in range(9):
+                if src == dst:
+                    continue
+                pid += 1
+                packet = request_packet(pid, make_request(beats=2), src, dst, 0)
+                if network.injection_buffer(src).can_inject(packet):
+                    network.injection_buffer(src).push_complete(packet)
+                    expected.setdefault(dst, set()).add(pid)
+        received = {dst: set() for dst in expected}
+        for cycle in range(400):
+            network.tick(cycle)
+            for dst in expected:
+                popped = network.local_sink(dst).pop_complete()
+                if popped is not None:
+                    received[dst].add(popped.packet_id)
+        assert received == expected
+
+    def test_heavy_corner_traffic_drains(self):
+        """Many-to-one traffic toward the corner must not deadlock."""
+        network = self.build()
+        pid = 0
+        injected = 0
+        for wave in range(6):
+            for src in range(1, 9):
+                pid += 1
+                packet = request_packet(
+                    pid, make_request(beats=8, is_read=False), src, 0, 0
+                )
+                if network.injection_buffer(src).can_inject(packet):
+                    network.injection_buffer(src).push_complete(packet)
+                    injected += 1
+        arrived = 0
+        for cycle in range(2_000):
+            network.tick(cycle)
+            if network.local_sink(0).pop_complete() is not None:
+                arrived += 1
+        assert arrived == injected

@@ -1,0 +1,120 @@
+"""3-D mesh (p = 7) tests: topology, XYZ routing, end-to-end delivery."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from tests.helpers import make_request
+from repro.noc.flow_control import RoundRobinFlowController
+from repro.noc.network import MeshNetwork
+from repro.noc.packet import request_packet
+from repro.noc.routing import xy_route
+from repro.noc.topology import Mesh3D, Port
+
+
+@pytest.fixture
+def mesh():
+    return Mesh3D(3, 3, 2)
+
+
+class TestTopology:
+    def test_layer_major_numbering(self, mesh):
+        assert mesh.node_at(0, 0, 0) == 0
+        assert mesh.node_at(2, 2, 0) == 8
+        assert mesh.node_at(0, 0, 1) == 9
+        assert mesh.coordinates(13) == (1, 1, 1)
+
+    def test_up_down_neighbors(self, mesh):
+        center_low = mesh.node_at(1, 1, 0)
+        center_high = mesh.node_at(1, 1, 1)
+        assert mesh.neighbor(center_low, Port.DOWN) == center_high
+        assert mesh.neighbor(center_high, Port.UP) == center_low
+        assert mesh.neighbor(center_low, Port.UP) is None
+        assert mesh.neighbor(center_high, Port.DOWN) is None
+
+    def test_interior_node_has_seven_ports(self):
+        mesh = Mesh3D(3, 3, 3)
+        center = mesh.node_at(1, 1, 1)
+        assert len(mesh.ports(center)) == 7  # the paper's p = 7
+
+    def test_opposite_includes_vertical(self):
+        assert Mesh3D.opposite(Port.UP) is Port.DOWN
+        assert Mesh3D.opposite(Port.DOWN) is Port.UP
+
+    def test_hop_distance_manhattan_3d(self, mesh):
+        a = mesh.node_at(0, 0, 0)
+        b = mesh.node_at(2, 2, 1)
+        assert mesh.hop_distance(a, b) == 5
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Mesh3D(3, 3, 0)
+
+
+class TestXyzRouting:
+    def test_dimension_order_x_y_z(self, mesh):
+        src = mesh.node_at(0, 0, 0)
+        dst = mesh.node_at(2, 2, 1)
+        assert xy_route(mesh, src, dst) is Port.EAST
+        aligned_x = mesh.node_at(2, 0, 0)
+        assert xy_route(mesh, aligned_x, dst) is Port.SOUTH
+        aligned_xy = mesh.node_at(2, 2, 0)
+        assert xy_route(mesh, aligned_xy, dst) is Port.DOWN
+
+    def test_local_at_destination(self, mesh):
+        assert xy_route(mesh, 5, 5) is Port.LOCAL
+
+    @given(st.data())
+    def test_every_hop_reduces_distance(self, data):
+        mesh = Mesh3D(3, 2, 2)
+        src = data.draw(st.integers(0, mesh.num_nodes - 1))
+        dst = data.draw(st.integers(0, mesh.num_nodes - 1))
+        node = src
+        steps = 0
+        while node != dst:
+            port = xy_route(mesh, node, dst)
+            nxt = mesh.neighbor(node, port)
+            assert nxt is not None
+            assert mesh.hop_distance(nxt, dst) == mesh.hop_distance(node, dst) - 1
+            node = nxt
+            steps += 1
+            assert steps <= mesh.num_nodes
+
+
+class TestNetwork3D:
+    def test_all_pairs_deliver(self):
+        network = MeshNetwork(
+            Mesh3D(2, 2, 2),
+            controller_factory=lambda n, p: RoundRobinFlowController(),
+            buffer_flits=12,
+            local_buffer_flits=64,
+        )
+        pid = 0
+        expected = {}
+        for src in network.mesh.nodes():
+            for dst in network.mesh.nodes():
+                if src == dst:
+                    continue
+                pid += 1
+                packet = request_packet(pid, make_request(beats=2), src, dst, 0)
+                if network.injection_buffer(src).can_inject(packet):
+                    network.injection_buffer(src).push_complete(packet)
+                    expected.setdefault(dst, set()).add(pid)
+        received = {dst: set() for dst in expected}
+        for cycle in range(400):
+            network.tick(cycle)
+            for dst in expected:
+                popped = network.local_sink(dst).pop_complete()
+                if popped is not None:
+                    received[dst].add(popped.packet_id)
+        assert received == expected
+
+    def test_vertical_links_wired_both_ways(self):
+        network = MeshNetwork(
+            Mesh3D(2, 2, 2),
+            controller_factory=lambda n, p: RoundRobinFlowController(),
+            buffer_flits=12,
+        )
+        low = network.mesh.node_at(0, 0, 0)
+        high = network.mesh.node_at(0, 0, 1)
+        down_out = network.router(low).outputs[Port.DOWN]
+        assert down_out.downstream == network.router(high).input_lanes(Port.UP)

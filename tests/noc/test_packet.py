@@ -1,0 +1,70 @@
+"""Packet sizing tests (Section IV-C flit accounting)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from tests.helpers import make_request
+from repro.noc.packet import (
+    Packet,
+    PacketKind,
+    flits_for_beats,
+    request_packet,
+    response_packet,
+)
+
+
+class TestFlitSizing:
+    def test_two_beats_per_flit(self):
+        assert flits_for_beats(8) == 4
+        assert flits_for_beats(7) == 4
+        assert flits_for_beats(1) == 1
+        assert flits_for_beats(0) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            flits_for_beats(-1)
+
+    def test_read_request_is_one_flit(self):
+        packet = request_packet(1, make_request(beats=64, is_read=True), 1, 0, 0)
+        assert packet.size_flits == 1
+
+    def test_write_request_carries_data(self):
+        packet = request_packet(1, make_request(beats=64, is_read=False), 1, 0, 0)
+        assert packet.size_flits == 32
+
+    def test_read_response_carries_data(self):
+        packet = response_packet(1, make_request(beats=64, is_read=True), 0, 1, 0)
+        assert packet.size_flits == 32
+
+    def test_write_ack_is_one_flit(self):
+        packet = response_packet(1, make_request(beats=64, is_read=False), 0, 1, 0)
+        assert packet.size_flits == 1
+
+    @given(beats=st.integers(1, 128), is_read=st.booleans())
+    def test_request_plus_response_carry_data_exactly_once(self, beats, is_read):
+        request = make_request(beats=beats, is_read=is_read)
+        req = request_packet(1, request, 1, 0, 0)
+        rsp = response_packet(2, request, 0, 1, 0)
+        data_flits = flits_for_beats(beats)
+        assert req.size_flits + rsp.size_flits == data_flits + 1
+
+
+class TestValidation:
+    def test_request_packet_requires_request(self):
+        with pytest.raises(ValueError):
+            Packet(1, PacketKind.REQUEST, 0, 1, size_flits=1, created_cycle=0)
+
+    def test_positive_size_required(self):
+        with pytest.raises(ValueError):
+            Packet(1, PacketKind.RESPONSE, 0, 1, size_flits=0, created_cycle=0)
+
+    def test_priority_reflects_request_class(self):
+        pri = request_packet(1, make_request(priority=True), 1, 0, 0)
+        be = request_packet(2, make_request(), 1, 0, 0)
+        assert pri.is_priority and not be.is_priority
+
+    def test_kind_helpers(self):
+        req = request_packet(1, make_request(), 1, 0, 0)
+        rsp = response_packet(2, make_request(), 0, 1, 0)
+        assert req.is_memory_request and not req.is_response
+        assert rsp.is_response and not rsp.is_memory_request

@@ -1,0 +1,68 @@
+"""XY routing tests: minimality, dimension order, livelock freedom."""
+
+from hypothesis import given, strategies as st
+
+from repro.noc.routing import route_path, xy_route
+from repro.noc.topology import Mesh, Port
+
+
+def test_local_delivery_at_destination():
+    mesh = Mesh(3, 3)
+    assert xy_route(mesh, 4, 4) is Port.LOCAL
+
+
+def test_x_resolved_before_y():
+    mesh = Mesh(3, 3)
+    # from (0,0) to (2,2): move east first
+    assert xy_route(mesh, 0, 8) is Port.EAST
+    # from (2,0) to (2,2): x aligned, move south
+    assert xy_route(mesh, 2, 8) is Port.SOUTH
+
+
+def test_westward_and_northward():
+    mesh = Mesh(3, 3)
+    assert xy_route(mesh, 8, 0) is Port.WEST
+    assert xy_route(mesh, 6, 0) is Port.NORTH
+
+
+def test_route_path_endpoints():
+    mesh = Mesh(3, 3)
+    path = route_path(mesh, 2, 6)
+    assert path[0] == 2 and path[-1] == 6
+
+
+def test_route_path_dimension_order():
+    mesh = Mesh(4, 4)
+    path = route_path(mesh, mesh.node_at(3, 0), mesh.node_at(0, 3))
+    xs = [mesh.coordinates(n)[0] for n in path]
+    ys = [mesh.coordinates(n)[1] for n in path]
+    # X strictly resolves before any Y movement
+    first_y_move = next(i for i in range(1, len(ys)) if ys[i] != ys[i - 1])
+    assert all(x == xs[first_y_move - 1] for x in xs[first_y_move - 1:])
+
+
+@given(st.integers(1, 6), st.integers(1, 6), st.data())
+def test_paths_are_minimal(width, height, data):
+    mesh = Mesh(width, height)
+    src = data.draw(st.integers(0, mesh.num_nodes - 1))
+    dst = data.draw(st.integers(0, mesh.num_nodes - 1))
+    path = route_path(mesh, src, dst)
+    assert len(path) - 1 == mesh.hop_distance(src, dst)
+
+
+@given(st.integers(1, 6), st.integers(1, 6), st.data())
+def test_every_hop_reduces_distance(width, height, data):
+    """Livelock freedom: each hop strictly approaches the destination."""
+    mesh = Mesh(width, height)
+    src = data.draw(st.integers(0, mesh.num_nodes - 1))
+    dst = data.draw(st.integers(0, mesh.num_nodes - 1))
+    node = src
+    steps = 0
+    while node != dst:
+        port = xy_route(mesh, node, dst)
+        nxt = mesh.neighbor(node, port)
+        assert nxt is not None
+        assert mesh.hop_distance(nxt, dst) == mesh.hop_distance(node, dst) - 1
+        node = nxt
+        steps += 1
+        assert steps <= mesh.num_nodes

@@ -1,0 +1,67 @@
+"""NoC telemetry tests."""
+
+import pytest
+
+from repro.core.system import build_system
+from repro.noc.telemetry import (
+    hottest_links,
+    link_stats,
+    node_throughput,
+    render_link_report,
+)
+from repro.noc.topology import Port
+from repro.sim.config import NocDesign, SystemConfig
+
+
+@pytest.fixture(scope="module")
+def ran_system():
+    system = build_system(SystemConfig(app="single_dtv", cycles=3_000,
+                                       warmup=500,
+                                       design=NocDesign.SDRAM_AWARE))
+    system.run()
+    return system
+
+
+class TestLinkStats:
+    def test_one_entry_per_output_channel(self, ran_system):
+        stats = link_stats(ran_system.network, 3_000)
+        expected = sum(
+            len(router.outputs) for router in ran_system.network.routers
+        )
+        assert len(stats) == expected
+
+    def test_utilization_bounded_by_capacity(self, ran_system):
+        for stat in link_stats(ran_system.network, 3_000):
+            assert 0.0 <= stat.utilization <= 1.0
+
+    def test_flit_conservation_per_channel(self, ran_system):
+        for stat in link_stats(ran_system.network, 3_000):
+            assert stat.flits >= stat.packets  # every packet has >= 1 flit
+
+    def test_cycles_must_be_positive(self, ran_system):
+        with pytest.raises(ValueError):
+            link_stats(ran_system.network, 0)
+
+
+class TestHotspots:
+    def test_memory_funnel_is_hottest(self, ran_system):
+        """All memory traffic exits through node 0's LOCAL channel."""
+        hottest = hottest_links(ran_system.network, 3_000, top=3)
+        assert any(
+            s.node == 0 and s.port in (Port.LOCAL, Port.EAST, Port.SOUTH)
+            for s in hottest
+        )
+
+    def test_top_bound(self, ran_system):
+        assert len(hottest_links(ran_system.network, 3_000, top=2)) == 2
+        with pytest.raises(ValueError):
+            hottest_links(ran_system.network, 3_000, top=0)
+
+    def test_node_throughput_covers_all_nodes(self, ran_system):
+        totals = node_throughput(ran_system.network, 3_000)
+        assert set(totals) == set(ran_system.network.mesh.nodes())
+
+    def test_report_renders(self, ran_system):
+        text = render_link_report(ran_system.network, 3_000)
+        assert "per-node" in text
+        assert "LOCAL" in text

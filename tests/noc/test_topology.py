@@ -1,0 +1,93 @@
+"""Mesh topology tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.topology import Mesh, Port
+
+
+@pytest.fixture
+def mesh():
+    return Mesh(3, 3)
+
+
+class TestGeometry:
+    def test_node_numbering_row_major(self, mesh):
+        assert mesh.node_at(0, 0) == 0
+        assert mesh.node_at(2, 0) == 2
+        assert mesh.node_at(0, 1) == 3
+        assert mesh.coordinates(8) == (2, 2)
+
+    def test_num_nodes(self, mesh):
+        assert mesh.num_nodes == 9
+        assert list(mesh.nodes()) == list(range(9))
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Mesh(0, 3)
+
+    def test_out_of_range_lookups(self, mesh):
+        with pytest.raises(ValueError):
+            mesh.coordinates(9)
+        with pytest.raises(ValueError):
+            mesh.node_at(3, 0)
+
+
+class TestNeighbors:
+    def test_interior_node_has_all_neighbors(self):
+        mesh = Mesh(3, 3)
+        center = mesh.node_at(1, 1)
+        assert mesh.neighbor(center, Port.NORTH) == mesh.node_at(1, 0)
+        assert mesh.neighbor(center, Port.SOUTH) == mesh.node_at(1, 2)
+        assert mesh.neighbor(center, Port.EAST) == mesh.node_at(2, 1)
+        assert mesh.neighbor(center, Port.WEST) == mesh.node_at(0, 1)
+
+    def test_corner_has_two_neighbors(self, mesh):
+        assert mesh.neighbor(0, Port.NORTH) is None
+        assert mesh.neighbor(0, Port.WEST) is None
+        assert mesh.neighbor(0, Port.EAST) == 1
+        assert mesh.neighbor(0, Port.SOUTH) == 3
+
+    def test_local_has_no_neighbor(self, mesh):
+        assert mesh.neighbor(4, Port.LOCAL) is None
+
+    def test_ports_lists_usable_only(self, mesh):
+        corner_ports = mesh.ports(0)
+        assert Port.LOCAL in corner_ports
+        assert Port.EAST in corner_ports and Port.SOUTH in corner_ports
+        assert Port.NORTH not in corner_ports
+        center_ports = mesh.ports(4)
+        assert len(center_ports) == 5
+
+    def test_opposite(self):
+        assert Mesh.opposite(Port.NORTH) is Port.SOUTH
+        assert Mesh.opposite(Port.EAST) is Port.WEST
+        with pytest.raises(ValueError):
+            Mesh.opposite(Port.LOCAL)
+
+
+class TestDistance:
+    def test_hop_distance_manhattan(self, mesh):
+        assert mesh.hop_distance(0, 8) == 4
+        assert mesh.hop_distance(0, 0) == 0
+        assert mesh.hop_distance(2, 6) == 4
+
+    @given(st.integers(1, 6), st.integers(1, 6), st.data())
+    def test_neighbor_symmetry(self, width, height, data):
+        mesh = Mesh(width, height)
+        node = data.draw(st.integers(0, mesh.num_nodes - 1))
+        for port in (Port.NORTH, Port.EAST, Port.SOUTH, Port.WEST):
+            neighbor = mesh.neighbor(node, port)
+            if neighbor is not None:
+                assert mesh.neighbor(neighbor, Mesh.opposite(port)) == node
+
+    @given(st.integers(1, 6), st.integers(1, 6), st.data())
+    def test_distance_symmetric_and_triangle(self, width, height, data):
+        mesh = Mesh(width, height)
+        a = data.draw(st.integers(0, mesh.num_nodes - 1))
+        b = data.draw(st.integers(0, mesh.num_nodes - 1))
+        c = data.draw(st.integers(0, mesh.num_nodes - 1))
+        assert mesh.hop_distance(a, b) == mesh.hop_distance(b, a)
+        assert mesh.hop_distance(a, c) <= (
+            mesh.hop_distance(a, b) + mesh.hop_distance(b, c)
+        )

@@ -1,0 +1,87 @@
+"""Simulator kernel tests: ordering, hooks, run control."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class Recorder:
+    def __init__(self, log, name):
+        self.log = log
+        self.name = name
+
+    def tick(self, cycle):
+        self.log.append((cycle, self.name))
+
+
+def test_components_tick_in_registration_order():
+    log = []
+    sim = Simulator()
+    sim.add(Recorder(log, "a"))
+    sim.add(Recorder(log, "b"))
+    sim.step()
+    assert log == [(0, "a"), (0, "b")]
+
+
+def test_cycle_counts_advance():
+    sim = Simulator()
+    assert sim.cycle == 0
+    sim.step()
+    assert sim.cycle == 1
+    sim.run(9)
+    assert sim.cycle == 10
+
+
+def test_run_until_predicate_stops_early():
+    log = []
+    sim = Simulator()
+    sim.add(Recorder(log, "x"))
+    sim.run(100, until=lambda: len(log) >= 5)
+    assert sim.cycle == 5
+
+
+def test_run_rejects_negative_cycles():
+    with pytest.raises(ValueError):
+        Simulator().run(-1)
+
+
+def test_add_rejects_non_clocked():
+    with pytest.raises(TypeError):
+        Simulator().add(object())
+
+
+def test_add_returns_component_for_fluent_wiring():
+    sim = Simulator()
+    component = Recorder([], "a")
+    assert sim.add(component) is component
+
+
+def test_on_cycle_hook_runs_after_components():
+    log = []
+    sim = Simulator()
+    sim.add(Recorder(log, "comp"))
+    sim.on_cycle(lambda cycle: log.append((cycle, "hook")))
+    sim.step()
+    sim.step()
+    assert log == [(0, "comp"), (0, "hook"), (1, "comp"), (1, "hook")]
+
+
+def test_add_all_registers_in_iteration_order():
+    log = []
+    sim = Simulator()
+    sim.add_all([Recorder(log, "a"), Recorder(log, "b"), Recorder(log, "c")])
+    sim.step()
+    assert [name for _, name in log] == ["a", "b", "c"]
+
+
+def test_components_see_monotonic_cycles():
+    seen = []
+
+    class Watcher:
+        def tick(self, cycle):
+            seen.append(cycle)
+
+    sim = Simulator()
+    sim.add(Watcher())
+    sim.run(50)
+    assert seen == list(range(50))

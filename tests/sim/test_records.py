@@ -1,0 +1,47 @@
+"""RunResult and table-row helpers."""
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.records import RunResult, TableRow, ratio_row
+from repro.sim.stats import RunMetrics
+
+
+def _metrics(**overrides):
+    values = dict(
+        utilization=0.7, raw_utilization=0.75, latency_all=120.0,
+        latency_demand=90.0, completed=500, row_hit_rate=0.5, cycles=10_000,
+    )
+    values.update(overrides)
+    return RunMetrics(**values)
+
+
+def test_run_result_properties():
+    result = RunResult(config=SystemConfig(), metrics=_metrics())
+    assert result.utilization == 0.7
+    assert result.latency_all == 120.0
+    assert result.latency_demand == 90.0
+
+
+def test_run_result_to_dict_includes_label_and_metrics():
+    result = RunResult(config=SystemConfig(), metrics=_metrics())
+    record = result.to_dict()
+    assert "label" in record
+    assert record["utilization"] == 0.7
+    assert record["cycles"] == 10_000
+
+
+def test_ratio_row_normalizes_to_baseline():
+    rows = [
+        TableRow("a", 100, "ddr2", {"conv": 0.6, "gss": 0.7}),
+        TableRow("b", 200, "ddr2", {"conv": 0.4, "gss": 0.5}),
+    ]
+    ratios = ratio_row(rows, baseline_key="conv")
+    assert ratios["conv"] == pytest.approx(1.0)
+    assert ratios["gss"] == pytest.approx(0.6 / 0.5)
+
+
+def test_ratio_row_empty_and_zero_baseline():
+    assert ratio_row([], "conv") == {}
+    rows = [TableRow("a", 1, "ddr1", {"conv": 0.0, "gss": 1.0})]
+    assert ratio_row(rows, "conv") == {"conv": 0.0, "gss": 0.0}

@@ -1,0 +1,150 @@
+"""Stats accounting tests: latency series, warmup filtering, utilization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import LatencySeries, RunMetrics, StatsCollector
+
+
+class TestLatencySeries:
+    def test_mean_and_max(self):
+        series = LatencySeries()
+        for value in (10, 20, 30):
+            series.record(value)
+        assert series.mean == 20
+        assert series.maximum == 30
+        assert series.count == 3
+
+    def test_empty_mean_is_zero(self):
+        assert LatencySeries().mean == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LatencySeries().record(-1)
+
+    def test_samples_kept_only_when_requested(self):
+        kept = LatencySeries(keep_samples=True)
+        kept.record(5)
+        assert kept.samples == [5]
+        dropped = LatencySeries()
+        dropped.record(5)
+        assert dropped.samples == []
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1))
+    def test_mean_matches_arithmetic_mean(self, values):
+        series = LatencySeries()
+        for value in values:
+            series.record(value)
+        assert series.mean == pytest.approx(sum(values) / len(values))
+        assert series.maximum == max(values)
+
+
+class TestStatsCollector:
+    def test_warmup_excludes_early_completions(self):
+        stats = StatsCollector(warmup=100)
+        stats.record_completion(cycle=150, issued_cycle=50, master=0, is_demand=False)
+        assert stats.all_packets.count == 0
+        stats.record_completion(cycle=250, issued_cycle=150, master=0, is_demand=False)
+        assert stats.all_packets.count == 1
+
+    def test_demand_class_tracked_separately(self):
+        stats = StatsCollector()
+        stats.record_completion(10, 0, master=1, is_demand=True)
+        stats.record_completion(20, 0, master=2, is_demand=False)
+        assert stats.demand_packets.count == 1
+        assert stats.all_packets.count == 2
+
+    def test_per_master_series(self):
+        stats = StatsCollector()
+        stats.record_completion(10, 0, master=3, is_demand=False)
+        stats.record_completion(30, 0, master=3, is_demand=False)
+        assert stats.per_master[3].count == 2
+        assert stats.per_master[3].mean == 20
+
+    def test_utilization_counts_useful_fraction(self):
+        stats = StatsCollector()
+        for cycle in range(10):
+            stats.record_idle_cycle(cycle)
+        # 4 busy cycles, half useful each
+        for cycle in range(4):
+            stats.record_bus_cycle(cycle, useful_beats=1, total_beats=2)
+        assert stats.raw_utilization == pytest.approx(0.4)
+        assert stats.utilization == pytest.approx(0.2)
+
+    def test_bus_cycle_validation(self):
+        stats = StatsCollector()
+        with pytest.raises(ValueError):
+            stats.record_bus_cycle(0, useful_beats=3, total_beats=2)
+        with pytest.raises(ValueError):
+            stats.record_bus_cycle(0, useful_beats=0, total_beats=0)
+
+    def test_warmup_excludes_bus_activity(self):
+        stats = StatsCollector(warmup=10)
+        stats.record_bus_cycle(5, 2, 2)
+        assert stats.busy_cycles == 0
+        stats.record_bus_cycle(15, 2, 2)
+        assert stats.busy_cycles == 1
+
+    def test_row_hit_rate(self):
+        stats = StatsCollector()
+        stats.record_row_outcome(0, hit=True)
+        stats.record_row_outcome(0, hit=True)
+        stats.record_row_outcome(0, hit=False)
+        assert stats.row_hit_rate == pytest.approx(2 / 3)
+
+    def test_commands_counted_by_kind(self):
+        stats = StatsCollector()
+        stats.record_command(0, "ACT")
+        stats.record_command(0, "ACT")
+        stats.record_command(0, "PRE")
+        assert stats.commands_issued == {"ACT": 2, "PRE": 1}
+
+    def test_summary_keys(self):
+        stats = StatsCollector()
+        summary = stats.summary()
+        assert set(summary) == {
+            "utilization", "raw_utilization", "latency_all",
+            "latency_demand", "completed", "row_hit_rate",
+        }
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            StatsCollector(warmup=-1)
+
+
+class TestRunMetrics:
+    def test_from_collector_snapshot(self):
+        stats = StatsCollector()
+        stats.record_idle_cycle(0)
+        stats.record_bus_cycle(0, 2, 2)
+        stats.record_completion(40, 0, master=0, is_demand=True)
+        metrics = RunMetrics.from_collector(stats, cycles=100)
+        assert metrics.cycles == 100
+        assert metrics.completed == 1
+        assert metrics.latency_demand == 40
+        assert metrics.utilization == pytest.approx(1.0)
+
+
+class TestPercentiles:
+    def test_percentile_values(self):
+        series = LatencySeries(keep_samples=True)
+        for value in range(1, 101):
+            series.record(value)
+        assert series.percentile(0) == 1
+        assert series.percentile(100) == 100
+        assert 49 <= series.percentile(50) <= 51
+        assert 94 <= series.percentile(95) <= 96
+
+    def test_percentile_requires_samples(self):
+        series = LatencySeries()
+        series.record(5)
+        with pytest.raises(RuntimeError):
+            series.percentile(50)
+
+    def test_percentile_bounds(self):
+        series = LatencySeries(keep_samples=True)
+        with pytest.raises(ValueError):
+            series.percentile(101)
+
+    def test_empty_percentile_zero(self):
+        assert LatencySeries(keep_samples=True).percentile(99) == 0.0

@@ -1,0 +1,83 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sim.config import DdrGeneration, NocDesign
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.design is NocDesign.GSS_SAGM
+        assert args.ddr is DdrGeneration.DDR2
+
+    def test_design_parsing(self):
+        args = build_parser().parse_args(["run", "--design", "sdram-aware"])
+        assert args.design is NocDesign.SDRAM_AWARE
+
+    def test_bad_design_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--design", "bogus"])
+
+    def test_bad_ddr_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--ddr", "ddr9"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_run_prints_metrics(self, capsys):
+        code = main(["run", "--app", "bluray", "--cycles", "1500",
+                     "--warmup", "200"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "utilization" in out
+        assert "completed" in out
+
+    def test_run_with_flags(self, capsys):
+        code = main([
+            "run", "--cycles", "1200", "--warmup", "200", "--priority",
+            "--sti", "--adaptive", "--gss-routers", "2", "--pct", "4",
+        ])
+        assert code == 0
+        assert "gss+sagm+sti" in capsys.readouterr().out
+
+    def test_table4_renders(self, capsys):
+        assert main(["table4"]) == 0
+        assert "Table IV" in capsys.readouterr().out
+
+    def test_table5_renders(self, capsys):
+        assert main(["table5"]) == 0
+        assert "Table V" in capsys.readouterr().out
+
+    def test_table3_small(self, capsys):
+        code = main(["table3", "--cycles", "1200", "--warmup", "200",
+                     "--seeds", "2010"])
+        assert code == 0
+        assert "Table III" in capsys.readouterr().out
+
+    def test_fig8_small(self, capsys):
+        code = main(["fig8", "--cycles", "1000", "--warmup", "200",
+                     "--seeds", "2010", "--max-routers", "1"])
+        assert code == 0
+        assert "#GSS" in capsys.readouterr().out
+
+
+class TestExhibitCommands:
+    def test_table1_small(self, capsys):
+        code = main(["table1", "--cycles", "700", "--warmup", "100",
+                     "--seeds", "2010"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Ratio" in out
+
+    def test_export_small(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        code = main(["export", str(path), "--cycles", "700",
+                     "--warmup", "100", "--seeds", "2010"])
+        assert code == 0
+        assert path.exists()

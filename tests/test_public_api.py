@@ -1,0 +1,37 @@
+"""Public API surface tests: the names README documents must exist."""
+
+import repro
+import repro.core
+import repro.cost
+import repro.dram
+import repro.experiments
+import repro.noc
+import repro.sim
+import repro.workloads
+
+
+def test_top_level_quickstart_surface():
+    config = repro.SystemConfig(app="bluray", cycles=600, warmup=100)
+    metrics = repro.run_config(config)
+    assert isinstance(metrics, repro.RunMetrics)
+    system = repro.build_system(config)
+    assert isinstance(system, repro.SocSystem)
+
+
+def test_all_exports_resolve():
+    for module in (repro, repro.core, repro.cost, repro.dram,
+                   repro.experiments, repro.noc, repro.sim, repro.workloads):
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+
+def test_version_present():
+    assert repro.__version__
+
+
+def test_design_enum_covers_paper_comparisons():
+    values = {design.value for design in repro.NocDesign}
+    assert values == {
+        "conv", "conv+pfs", "sdram-aware", "sdram-aware+pfs",
+        "gss", "gss+sagm",
+    }

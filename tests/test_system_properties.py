@@ -1,0 +1,83 @@
+"""Property-based full-system tests.
+
+Hypothesis chooses random configurations (design, generation, clock, PCT,
+routing, VCs, buffer sizes); the full stack must always build, run, serve
+traffic, keep its metrics physically sensible, and remain deterministic.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.system import build_system
+from repro.sim.config import DdrGeneration, NocDesign, SystemConfig
+
+CLOCKS = {
+    DdrGeneration.DDR1: (133, 166, 200),
+    DdrGeneration.DDR2: (266, 333, 400),
+    DdrGeneration.DDR3: (533, 667, 800),
+}
+
+config_strategy = st.builds(
+    dict,
+    app=st.sampled_from(["bluray", "single_dtv"]),
+    design=st.sampled_from(list(NocDesign)),
+    ddr=st.sampled_from(list(DdrGeneration)),
+    clock_index=st.integers(0, 2),
+    priority_enabled=st.booleans(),
+    pct=st.integers(1, 6),
+    sti=st.booleans(),
+    adaptive_routing=st.booleans(),
+    virtual_channels=st.integers(1, 2),
+    link_buffer_flits=st.sampled_from([8, 12, 24]),
+    num_gss_routers=st.one_of(st.none(), st.integers(0, 9)),
+    seed=st.integers(0, 2**16),
+)
+
+
+def build_config(raw) -> SystemConfig:
+    clock = CLOCKS[raw["ddr"]][raw.pop("clock_index")]
+    return SystemConfig(clock_mhz=clock, cycles=1_200, warmup=200, **raw)
+
+
+@settings(max_examples=20, deadline=None)
+@given(raw=config_strategy)
+def test_any_configuration_serves_traffic(raw):
+    config = build_config(raw)
+    system = build_system(config)
+    metrics = system.run()
+    assert metrics.completed > 0
+    assert 0.0 < metrics.utilization <= 1.0
+    assert metrics.utilization <= metrics.raw_utilization + 1e-9
+    assert metrics.latency_all > 0
+    # conservation at the memory boundary
+    mi = system.memory_interface
+    assert mi.responses_sent <= mi.admitted
+
+
+@settings(max_examples=10, deadline=None)
+@given(raw=config_strategy)
+def test_any_configuration_is_deterministic(raw):
+    config = build_config(raw)
+    a = build_system(config).run()
+    b = build_system(config).run()
+    assert a == b
+
+
+@settings(max_examples=10, deadline=None)
+@given(raw=config_strategy)
+def test_no_requests_stranded_after_drain(raw):
+    config = build_config(raw)
+    system = build_system(config)
+    system.run()
+    for core in system.cores:
+        core.spec.max_outstanding = 0
+    for _ in range(25_000):
+        system.simulator.step()
+        if (
+            all(ci.outstanding == 0 for ci in system.core_interfaces)
+            and system.memory_interface.idle
+            and system.network.in_flight_packets == 0
+        ):
+            break
+    issued = sum(core.issued for core in system.cores)
+    completed = sum(core.completed for core in system.cores)
+    assert issued == completed

@@ -1,0 +1,81 @@
+"""A3MAP-style annealing mapper tests."""
+
+import pytest
+
+from repro.workloads.a3map import MappingProblem, anneal, map_application
+from repro.workloads.apps import bluray_model, dual_dtv_model
+from repro.workloads.mapping import MEMORY_NODE, place
+
+
+class TestProblem:
+    def test_memory_flows_default_to_bandwidth_weights(self):
+        app = bluray_model()
+        problem = MappingProblem(app=app)
+        assert problem.memory_flows[0] == app.cores[0].bandwidth_weight
+
+    def test_cost_counts_weighted_distance(self):
+        app = bluray_model()
+        problem = MappingProblem(app=app)
+        placement = place(app)
+        expected = sum(
+            spec.bandwidth_weight
+            * placement.mesh.hop_distance(
+                MEMORY_NODE, placement.node_of_core(i))
+            for i, spec in enumerate(app.cores)
+        )
+        assert problem.cost(placement) == pytest.approx(expected)
+
+    def test_core_flow_validation(self):
+        app = bluray_model()
+        with pytest.raises(ValueError):
+            MappingProblem(app=app, core_flows={(0, 99): 1.0})
+        with pytest.raises(ValueError):
+            MappingProblem(app=app, core_flows={(0, 1): -1.0})
+
+
+class TestAnneal:
+    def test_never_worse_than_greedy(self):
+        for factory in (bluray_model, dual_dtv_model):
+            app = factory()
+            problem = MappingProblem(app=app)
+            greedy_cost = problem.cost(place(app))
+            annealed = anneal(problem, iterations=1_000)
+            assert problem.cost(annealed) <= greedy_cost + 1e-9
+
+    def test_deterministic_per_seed(self):
+        app = dual_dtv_model()
+        problem = MappingProblem(app=app)
+        a = anneal(problem, seed=7, iterations=500)
+        b = anneal(problem, seed=7, iterations=500)
+        assert a.core_nodes == b.core_nodes
+
+    def test_result_is_valid_permutation(self):
+        app = dual_dtv_model()
+        placement = anneal(MappingProblem(app=app), iterations=500)
+        nodes = list(placement.core_nodes.values())
+        assert len(nodes) == len(set(nodes)) == 15
+        assert MEMORY_NODE not in nodes
+
+    def test_zero_iterations_returns_greedy(self):
+        app = bluray_model()
+        problem = MappingProblem(app=app)
+        assert anneal(problem, iterations=0).core_nodes == place(app).core_nodes
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            anneal(MappingProblem(app=bluray_model()), iterations=-1)
+
+    def test_core_flows_pull_cores_together(self):
+        """Two cores with heavy direct traffic end up adjacent."""
+        app = bluray_model()
+        # pick two light cores the memory objective doesn't constrain much
+        light = sorted(
+            range(len(app.cores)),
+            key=lambda i: app.cores[i].bandwidth_weight,
+        )[:2]
+        flows = {(light[0], light[1]): 50.0}
+        placement = map_application(app, core_flows=flows, iterations=3_000)
+        distance = placement.mesh.hop_distance(
+            placement.node_of_core(light[0]), placement.node_of_core(light[1])
+        )
+        assert distance <= 2

@@ -1,0 +1,71 @@
+"""Application model tests."""
+
+import pytest
+
+from repro.workloads.apps import (
+    APP_MODELS,
+    AppModel,
+    bluray_model,
+    dual_dtv_model,
+    get_app_model,
+    single_dtv_model,
+)
+from repro.workloads.cores import cpu_core
+
+
+class TestPaperModels:
+    def test_mesh_shapes_match_paper(self):
+        """Section V: 9, 9, and 16 nodes on 3x3 / 3x3 / 4x4 meshes."""
+        assert bluray_model().num_nodes == 9
+        assert single_dtv_model().num_nodes == 9
+        assert dual_dtv_model().num_nodes == 16
+
+    def test_core_counts_leave_room_for_memory(self):
+        assert len(bluray_model().cores) == 8
+        assert len(dual_dtv_model().cores) == 15
+
+    def test_each_model_has_cpu_and_enhancer(self):
+        for factory in (bluray_model, single_dtv_model, dual_dtv_model):
+            names = [core.name for core in factory().cores]
+            assert "cpu" in names
+            assert "enhancer" in names
+
+    def test_dual_dtv_has_two_channels(self):
+        names = [core.name for core in dual_dtv_model().cores]
+        assert names.count("enhancer") == 2
+        assert names.count("format-conv") == 2
+        assert names.count("display") == 2
+
+    def test_models_built_fresh_each_call(self):
+        a = bluray_model()
+        b = bluray_model()
+        assert a.cores[0] is not b.cores[0]
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_app_model("bluray").name == "bluray"
+
+    def test_unknown_raises_with_choices(self):
+        with pytest.raises(ValueError, match="bluray"):
+            get_app_model("unknown")
+
+    def test_custom_registration(self):
+        def tiny():
+            return AppModel(
+                name="tiny", mesh_width=2, mesh_height=2,
+                cores=[cpu_core(), cpu_core(), cpu_core()],
+            )
+
+        APP_MODELS["tiny"] = tiny
+        try:
+            assert get_app_model("tiny").num_nodes == 4
+        finally:
+            del APP_MODELS["tiny"]
+
+
+class TestValidation:
+    def test_core_count_must_fill_mesh(self):
+        with pytest.raises(ValueError, match="do not fill"):
+            AppModel(name="bad", mesh_width=3, mesh_height=3,
+                     cores=[cpu_core()])

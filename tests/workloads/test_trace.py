@@ -1,0 +1,83 @@
+"""Trace record/replay tests."""
+
+from itertools import count
+
+from tests.helpers import make_request
+from repro.dram.address_map import AddressMap
+from repro.workloads.cores import SyntheticCore, h264_codec_core
+from repro.workloads.trace import TraceEntry, TraceRecorder, TraceReplayer
+
+
+def live_core(seed=3):
+    return SyntheticCore(
+        master=0, spec=h264_codec_core(), address_map=AddressMap(banks=8),
+        region_index=0, region_count=8, request_ids=count(), seed=seed,
+    )
+
+
+def run_generator(generator, cycles, complete_immediately=True):
+    issued = []
+    for cycle in range(cycles):
+        for request in generator.generate(cycle):
+            issued.append((cycle, request))
+            if complete_immediately:
+                generator.on_complete(request.request_id, cycle)
+    return issued
+
+
+class TestRecorder:
+    def test_records_every_issue(self):
+        recorder = TraceRecorder(live_core())
+        issued = run_generator(recorder, 500)
+        assert len(recorder.entries) == len(issued)
+        assert [e.cycle for e in recorder.entries] == [c for c, _ in issued]
+
+    def test_recorded_requests_are_copies(self):
+        recorder = TraceRecorder(live_core())
+        issued = run_generator(recorder, 200)
+        _, live_request = issued[0]
+        recorded = recorder.entries[0].request
+        assert recorded is not live_request
+        assert recorded.bank == live_request.bank
+
+    def test_passes_completions_through(self):
+        inner = live_core()
+        recorder = TraceRecorder(inner)
+        run_generator(recorder, 300)
+        assert inner.completed > 0
+
+
+class TestReplayer:
+    def test_replay_matches_recording(self):
+        recorder = TraceRecorder(live_core())
+        run_generator(recorder, 400)
+        replayer = TraceReplayer(0, recorder.entries)
+        replayed = run_generator(replayer, 400)
+        original = [(e.cycle, e.request.bank, e.request.row, e.request.beats)
+                    for e in recorder.entries]
+        observed = [(c, r.bank, r.row, r.beats) for c, r in replayed]
+        assert observed == original
+
+    def test_outstanding_cap_gates_replay(self):
+        entries = [
+            TraceEntry(0, make_request(request_id=i)) for i in range(5)
+        ]
+        replayer = TraceReplayer(0, entries, max_outstanding=2)
+        issued = run_generator(replayer, 10, complete_immediately=False)
+        assert len(issued) == 2
+        replayer.on_complete(issued[0][1].request_id, 10)
+        more = run_generator(replayer, 1, complete_immediately=False)
+        assert len(more) == 1
+
+    def test_exhausted_flag(self):
+        entries = [TraceEntry(0, make_request())]
+        replayer = TraceReplayer(0, entries)
+        assert not replayer.exhausted
+        run_generator(replayer, 2)
+        assert replayer.exhausted
+
+    def test_requests_not_issued_early(self):
+        entries = [TraceEntry(50, make_request())]
+        replayer = TraceReplayer(0, entries)
+        assert run_generator(replayer, 50) == []
+        assert len(run_generator(replayer, 51)) == 1
