@@ -5,6 +5,7 @@ core building blocks so performance regressions in the simulator are
 caught alongside the reproduction benchmarks.
 """
 
+import time
 from itertools import count
 
 from tests.helpers import make_request
@@ -12,6 +13,7 @@ from repro.core.system import build_system
 from repro.dram.controller import CommandEngine
 from repro.dram.device import SdramDevice
 from repro.dram.timing import DramTiming
+from repro.obs import NullTracer
 from repro.sim.config import DdrGeneration, NocDesign, SystemConfig
 
 
@@ -57,3 +59,40 @@ def test_conv_system_cycles_per_second(benchmark):
             system.simulator.step()
 
     benchmark(step_chunk)
+
+
+def test_null_tracer_overhead_bounded():
+    """A disabled tracer must not slow the simulator down.
+
+    Every emission site guards with ``if tracer:`` — falsy for both
+    ``None`` and ``NullTracer`` — so the hot path with a NullTracer
+    attached must stay within 5% of the untraced baseline.  Interleaved
+    min-of-trials timing keeps the comparison robust on noisy CI hosts.
+    """
+    config = SystemConfig(app="single_dtv", cycles=100_000,
+                          design=NocDesign.GSS_SAGM)
+    baseline = build_system(config)
+    traced = build_system(config, tracer=NullTracer())
+
+    def time_chunk(system, cycles=2_000):
+        start = time.perf_counter()
+        for _ in range(cycles):
+            system.simulator.step()
+        return time.perf_counter() - start
+
+    # warm both systems past startup transients (and JIT-ish dict warmup)
+    time_chunk(baseline)
+    time_chunk(traced)
+
+    baseline_times, traced_times = [], []
+    for _ in range(5):
+        baseline_times.append(time_chunk(baseline))
+        traced_times.append(time_chunk(traced))
+    baseline_best = min(baseline_times)
+    traced_best = min(traced_times)
+
+    overhead = traced_best / baseline_best
+    assert overhead <= 1.05, (
+        f"NullTracer path is {overhead:.3f}x the untraced baseline "
+        f"({traced_best:.4f}s vs {baseline_best:.4f}s per 2k cycles)"
+    )

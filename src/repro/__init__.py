@@ -18,15 +18,20 @@ Quick start::
 """
 
 from .core.system import SocSystem, build_system, run_config
+from .obs import MemoryTracer, MetricsRegistry, NullTracer, SimulatorProfiler
 from .sim.config import DdrGeneration, NocDesign, SystemConfig, paper_configs
 from .sim.stats import RunMetrics
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DdrGeneration",
+    "MemoryTracer",
+    "MetricsRegistry",
     "NocDesign",
+    "NullTracer",
     "RunMetrics",
+    "SimulatorProfiler",
     "SocSystem",
     "SystemConfig",
     "build_system",

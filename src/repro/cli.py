@@ -3,6 +3,9 @@
 Examples::
 
     python -m repro run --app bluray --design gss+sagm --priority
+    python -m repro run --percentiles
+    python -m repro trace --cycles 5000 -o trace.json
+    python -m repro profile --window 1000
     python -m repro table1 --cycles 12000
     python -m repro fig8 --max-routers 5
     python -m repro table4
@@ -49,21 +52,48 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="simulate one configuration")
-    run.add_argument("--app", default="single_dtv")
-    run.add_argument("--design", type=_design, default=NocDesign.GSS_SAGM)
-    run.add_argument("--ddr", type=_ddr, default=DdrGeneration.DDR2)
-    run.add_argument("--clock", type=int, default=333, metavar="MHZ")
-    run.add_argument("--cycles", type=int, default=20_000)
-    run.add_argument("--warmup", type=int, default=3_000)
-    run.add_argument("--seed", type=int, default=2010)
-    run.add_argument("--pct", type=int, default=5)
-    run.add_argument("--priority", action="store_true")
-    run.add_argument("--sti", action="store_true")
-    run.add_argument("--adaptive", action="store_true")
-    run.add_argument("--gss-routers", type=int, default=None)
-    run.add_argument("--vcs", type=int, default=1,
-                     help="virtual channels per link (2 adds a priority lane)")
-    run.add_argument("--link-buffers", type=int, default=12, metavar="FLITS")
+    _add_config_args(run)
+    run.add_argument(
+        "--percentiles", action="store_true",
+        help="also report p50/p95/p99 latency (keeps per-request samples)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="simulate one configuration with packet-lifecycle tracing",
+    )
+    _add_config_args(trace, default_cycles=5_000, default_warmup=0)
+    trace.add_argument(
+        "-o", "--output", default="trace.json", metavar="PATH",
+        help="Chrome trace-event JSON output (load in Perfetto / "
+        "chrome://tracing)",
+    )
+    trace.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="also dump raw events as JSON Lines",
+    )
+    trace.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="cap recorded events (overflow is counted, not silent)",
+    )
+    trace.add_argument(
+        "--slowest", type=int, default=8, metavar="N",
+        help="slowest requests listed in the latency breakdown",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="simulate one configuration and profile simulator wall-time",
+    )
+    _add_config_args(profile, default_cycles=20_000, default_warmup=0)
+    profile.add_argument(
+        "--window", type=int, default=1_000, metavar="CYCLES",
+        help="profiling window size in cycles",
+    )
+    profile.add_argument(
+        "--windows", type=int, default=3, metavar="N",
+        help="most expensive windows to list",
+    )
 
     for name, module in [
         ("table1", table1), ("table2", table2), ("table3", table3),
@@ -98,19 +128,35 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _seeds(args) -> dict:
-    kwargs = {}
-    if getattr(args, "cycles", None) is not None:
-        kwargs["cycles"] = args.cycles
-    if getattr(args, "warmup", None) is not None:
-        kwargs["warmup"] = args.warmup
-    if getattr(args, "seeds", None) is not None:
-        kwargs["seeds"] = tuple(args.seeds)
-    return kwargs
+def _add_config_args(
+    parser: argparse.ArgumentParser,
+    default_cycles: int = 20_000,
+    default_warmup: int = 3_000,
+) -> None:
+    """The shared single-configuration flags (run / trace / profile)."""
+    parser.add_argument("--app", default="single_dtv")
+    parser.add_argument("--design", type=_design, default=NocDesign.GSS_SAGM)
+    parser.add_argument("--ddr", type=_ddr, default=DdrGeneration.DDR2)
+    parser.add_argument("--clock", type=int, default=333, metavar="MHZ")
+    parser.add_argument("--cycles", type=int, default=default_cycles)
+    parser.add_argument("--warmup", type=int, default=default_warmup)
+    parser.add_argument("--seed", type=int, default=2010)
+    parser.add_argument("--pct", type=int, default=5)
+    parser.add_argument("--priority", action="store_true")
+    parser.add_argument("--sti", action="store_true")
+    parser.add_argument("--adaptive", action="store_true")
+    parser.add_argument("--gss-routers", type=int, default=None)
+    parser.add_argument(
+        "--vcs", type=int, default=1,
+        help="virtual channels per link (2 adds a priority lane)",
+    )
+    parser.add_argument(
+        "--link-buffers", type=int, default=12, metavar="FLITS"
+    )
 
 
-def _cmd_run(args) -> None:
-    config = SystemConfig(
+def _config_from(args) -> SystemConfig:
+    return SystemConfig(
         app=args.app,
         design=args.design,
         ddr=args.ddr,
@@ -126,8 +172,23 @@ def _cmd_run(args) -> None:
         virtual_channels=args.vcs,
         link_buffer_flits=args.link_buffers,
     )
+
+
+def _seeds(args) -> dict:
+    kwargs = {}
+    if getattr(args, "cycles", None) is not None:
+        kwargs["cycles"] = args.cycles
+    if getattr(args, "warmup", None) is not None:
+        kwargs["warmup"] = args.warmup
+    if getattr(args, "seeds", None) is not None:
+        kwargs["seeds"] = tuple(args.seeds)
+    return kwargs
+
+
+def _cmd_run(args) -> None:
+    config = _config_from(args)
     started = time.time()
-    system = build_system(config)
+    system = build_system(config, keep_samples=args.percentiles)
     metrics = system.run()
     elapsed = time.time() - started
     print(f"configuration : {config.label}")
@@ -138,12 +199,69 @@ def _cmd_run(args) -> None:
     print(f"latency (dem) : {metrics.latency_demand:.1f} cycles")
     print(f"row-hit rate  : {metrics.row_hit_rate:.2f}")
     print(f"completed     : {metrics.completed} requests")
+    if args.percentiles:
+        series = system.stats.all_packets
+        if series.count:
+            print(
+                "percentiles   : "
+                f"p50={series.percentile(50):.0f} "
+                f"p95={series.percentile(95):.0f} "
+                f"p99={series.percentile(99):.0f} cycles"
+            )
+        else:
+            print("percentiles   : n/a (no completed requests)")
+
+
+def _cmd_trace(args) -> None:
+    from .obs import MemoryTracer
+    from .obs.exporters import (
+        render_latency_report,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    config = _config_from(args)
+    tracer = MemoryTracer(limit=args.limit)
+    system = build_system(config, tracer=tracer)
+    metrics = system.run()
+    print(f"configuration : {config.label}")
+    print(f"cycles        : {metrics.cycles}")
+    counts = tracer.counts()
+    summary = "  ".join(f"{name}={counts[name]}" for name in sorted(counts))
+    print(f"events        : {len(tracer)}  ({summary})")
+    if tracer.dropped:
+        print(f"dropped       : {tracer.dropped} (over --limit)")
+    write_chrome_trace(tracer.events, args.output)
+    print(f"chrome trace  : {args.output} (open in https://ui.perfetto.dev)")
+    if args.jsonl:
+        write_jsonl(tracer.events, args.jsonl)
+        print(f"jsonl dump    : {args.jsonl}")
+    print()
+    print(render_latency_report(tracer.events, slowest=args.slowest))
+
+
+def _cmd_profile(args) -> None:
+    from .obs import SimulatorProfiler
+
+    config = _config_from(args)
+    profiler = SimulatorProfiler(window_cycles=args.window)
+    system = build_system(config)
+    system.simulator.attach_profiler(profiler)
+    metrics = system.run()
+    print(f"configuration : {config.label}")
+    print(f"cycles        : {metrics.cycles}")
+    print()
+    print(profiler.report(windows=args.windows))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         _cmd_run(args)
+    elif args.command == "trace":
+        _cmd_trace(args)
+    elif args.command == "profile":
+        _cmd_profile(args)
     elif args.command == "table1":
         print(table1.render(table1.run_table1(**_seeds(args))))
     elif args.command == "table2":

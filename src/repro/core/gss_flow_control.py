@@ -30,6 +30,7 @@ from ..dram.timing import DramTiming
 from ..noc.flow_control import Candidate, MemoryFlowController
 from ..noc.packet import Packet
 from ..noc.topology import Port
+from ..obs.events import EventType
 from .gss_filter import SchedulerState, select
 from .tokens import TokenTable
 
@@ -46,6 +47,8 @@ class GssFlowController(MemoryFlowController):
         timing: DramTiming,
         pct: int = 5,
         sti_enabled: bool = False,
+        tracer=None,
+        trace_label: str = "gss",
     ) -> None:
         self.timing = timing
         self.sti_enabled = sti_enabled
@@ -58,6 +61,8 @@ class GssFlowController(MemoryFlowController):
                 2, -(-timing.write_to_precharge // 4)
             )
         self.scheduled_count = 0
+        self.tracer = tracer
+        self.trace_label = trace_label
 
     def _initial_pct(self, pct: int) -> int:
         return pct
@@ -87,6 +92,18 @@ class GssFlowController(MemoryFlowController):
         self.table.on_scheduled(packet)
         self.state.note_scheduled(packet.request)
         self.scheduled_count += 1
+        tracer = self.tracer
+        if tracer:
+            request = packet.request
+            tracer.emit(
+                EventType.ARB_GRANT,
+                cycle,
+                self.trace_label,
+                packet_id=packet.packet_id,
+                request_id=request.request_id,
+                bank=request.bank,
+                priority=packet.is_priority,
+            )
 
     def on_delivered(self, packet: Packet, cycle: int) -> None:
         if packet.request is None:

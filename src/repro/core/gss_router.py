@@ -36,23 +36,40 @@ from .gss_flow_control import (
 
 
 def gss_controller(
-    timing: DramTiming, pct: int = 5, sti: bool = False
+    timing: DramTiming,
+    pct: int = 5,
+    sti: bool = False,
+    tracer=None,
+    trace_label: str = "gss",
 ) -> DualFlowController:
     """One GSS channel controller (Fig. 3's parallel organization)."""
     return DualFlowController(
-        GssFlowController(timing, pct=pct, sti_enabled=sti)
+        GssFlowController(
+            timing, pct=pct, sti_enabled=sti,
+            tracer=tracer, trace_label=trace_label,
+        )
     )
 
 
-def sdram_aware_controller(timing: DramTiming) -> DualFlowController:
+def sdram_aware_controller(
+    timing: DramTiming, tracer=None, trace_label: str = "gss"
+) -> DualFlowController:
     """One [4] channel controller."""
-    return DualFlowController(SdramAwareFlowController(timing))
+    return DualFlowController(
+        SdramAwareFlowController(timing, tracer=tracer, trace_label=trace_label)
+    )
 
 
-def sdram_aware_pfs_controller(timing: DramTiming) -> DualFlowController:
+def sdram_aware_pfs_controller(
+    timing: DramTiming, tracer=None, trace_label: str = "gss"
+) -> DualFlowController:
     """One [4]+PFS channel controller (priority-first bypass in front)."""
     return DualFlowController(
-        PfsMemoryFlowController(SdramAwareFlowController(timing)),
+        PfsMemoryFlowController(
+            SdramAwareFlowController(
+                timing, tracer=tracer, trace_label=trace_label
+            )
+        ),
         normal_controller=PriorityFirstFlowController(),
     )
 
@@ -71,6 +88,7 @@ def design_controller_factory(
     pct: int = 5,
     sti: bool = False,
     priority_enabled: bool = False,
+    tracer=None,
 ) -> ControllerFactory:
     """Build the per-router flow-controller factory for ``design``.
 
@@ -81,17 +99,22 @@ def design_controller_factory(
     gss_set: Set[int] = set(gss_nodes) if gss_nodes is not None else set()
 
     def factory(node: int, port: Port) -> FlowController:
+        label = f"gss{node}.{port.name.lower()}"
         if design is NocDesign.CONV:
             return RoundRobinFlowController()
         if design is NocDesign.CONV_PFS:
             return PriorityFirstFlowController()
         if design is NocDesign.SDRAM_AWARE:
-            return sdram_aware_controller(timing)
+            return sdram_aware_controller(timing, tracer=tracer, trace_label=label)
         if design is NocDesign.SDRAM_AWARE_PFS:
-            return sdram_aware_pfs_controller(timing)
+            return sdram_aware_pfs_controller(
+                timing, tracer=tracer, trace_label=label
+            )
         # GSS / GSS+SAGM, possibly partially deployed
         if node in gss_set:
-            return gss_controller(timing, pct=pct, sti=sti)
+            return gss_controller(
+                timing, pct=pct, sti=sti, tracer=tracer, trace_label=label
+            )
         return conventional_controller(priority_first=priority_enabled)
 
     return factory

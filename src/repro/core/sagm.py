@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Iterator, List
 
 from ..dram.request import MemoryRequest
+from ..obs.events import EventType
 from ..sim.config import DdrGeneration
 
 
@@ -38,12 +39,15 @@ class SagmSplitter:
     sequential streaming keeps its row-buffer hits.
     """
 
-    def __init__(self, ddr: DdrGeneration, row_columns: int = 1024) -> None:
+    def __init__(
+        self, ddr: DdrGeneration, row_columns: int = 1024, tracer=None
+    ) -> None:
         if row_columns <= 0:
             raise ValueError("row_columns must be positive")
         self.ddr = ddr
         self.granularity_beats = ddr.sagm_granularity_beats
         self.row_columns = row_columns
+        self.tracer = tracer
 
     def _ends_row(self, request: MemoryRequest) -> bool:
         return request.column + request.beats >= self.row_columns
@@ -62,18 +66,32 @@ class SagmSplitter:
             single = self._clone(request, next(id_source), request.column,
                                  request.beats, 0, 1)
             single.ap_tag = self._ends_row(request)
-            return [single]
-        count = (request.beats + gran - 1) // gran
-        parts: List[MemoryRequest] = []
-        remaining = request.beats
-        column = request.column
-        for index in range(count):
-            beats = min(gran, remaining)
-            part = self._clone(request, next(id_source), column, beats, index, count)
-            part.ap_tag = index == count - 1 and self._ends_row(request)
-            parts.append(part)
-            column += beats
-            remaining -= beats
+            parts = [single]
+        else:
+            count = (request.beats + gran - 1) // gran
+            parts = []
+            remaining = request.beats
+            column = request.column
+            for index in range(count):
+                beats = min(gran, remaining)
+                part = self._clone(
+                    request, next(id_source), column, beats, index, count
+                )
+                part.ap_tag = index == count - 1 and self._ends_row(request)
+                parts.append(part)
+                column += beats
+                remaining -= beats
+        tracer = self.tracer
+        if tracer:
+            tracer.emit(
+                EventType.SAGM_SPLIT,
+                request.issued_cycle,
+                f"core{request.master}",
+                request_id=request.request_id,
+                parts=[part.request_id for part in parts],
+                beats=request.beats,
+                granularity=gran,
+            )
         return parts
 
     def _clone(

@@ -38,15 +38,33 @@ from .sagm import SagmSplitter
 
 
 class SocSystem:
-    """A fully wired system ready to simulate."""
+    """A fully wired system ready to simulate.
 
-    def __init__(self, config: SystemConfig) -> None:
+    ``tracer`` (any :class:`~repro.obs.tracer.Tracer`) threads through every
+    layer — NIs, routers, GSS controllers, MemMax, command engine, device —
+    so one object collects the full packet lifecycle.  The default ``None``
+    keeps every emission site on its zero-cost fast path.
+    ``keep_samples`` retains per-completion latency samples so percentiles
+    can be reported after the run.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        tracer=None,
+        keep_samples: bool = False,
+    ) -> None:
         self.config = config
-        self.stats = StatsCollector(warmup=config.warmup)
+        self.tracer = tracer
+        self.stats = StatsCollector(
+            warmup=config.warmup, keep_samples=keep_samples
+        )
         self.app = get_app_model(config.app)
         self.placement = place(self.app)
         self.timing = DramTiming.for_clock(config.ddr, config.clock_mhz)
-        self.device, self.subsystem = build_memory_subsystem(config, self.stats)
+        self.device, self.subsystem = build_memory_subsystem(
+            config, self.stats, tracer=tracer
+        )
         self.gss_nodes = self._gss_nodes()
         self.network = MeshNetwork(
             self.placement.mesh,
@@ -63,6 +81,7 @@ class SocSystem:
             # Deep buffering past the final GSS arbitration point would
             # turn into a FIFO priority packets cannot overtake.
             sink_flits={self.placement.memory_node: (36, 4)},
+            tracer=tracer,
         )
         self._request_ids = count()
         self._packet_ids = count()
@@ -84,6 +103,7 @@ class SocSystem:
             priority_responses=(
                 config.priority_enabled and config.design is not NocDesign.CONV
             ),
+            tracer=tracer,
         )
         self.simulator = Simulator()
         self.simulator.add_all(self.core_interfaces)
@@ -112,6 +132,7 @@ class SocSystem:
             pct=self.config.pct,
             sti=self.config.sti,
             priority_enabled=self.config.priority_enabled,
+            tracer=self.tracer,
         )
         return factory(node, port)
 
@@ -129,7 +150,9 @@ class SocSystem:
 
     def _build_cores(self) -> None:
         splitter = (
-            SagmSplitter(self.config.ddr) if self.config.design.uses_sagm else None
+            SagmSplitter(self.config.ddr, tracer=self.tracer)
+            if self.config.design.uses_sagm
+            else None
         )
         rate_scale = self.RATE_SCALE[self.config.ddr]
         address_map = _address_map_for(self.timing)
@@ -160,6 +183,7 @@ class SocSystem:
                     packet_ids=self._packet_ids,
                     request_ids=self._request_ids,
                     splitter=splitter,
+                    tracer=self.tracer,
                 )
             )
 
@@ -172,6 +196,54 @@ class SocSystem:
         self.simulator.run(total)
         return RunMetrics.from_collector(self.stats, self.simulator.cycle)
 
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+
+    def collect_metrics(self):
+        """Snapshot the whole system's counters into one registry.
+
+        Absorbs the ad-hoc counters scattered across the stack — NoC link
+        flit/packet counts, input-buffer high-water marks, per-bank row
+        hit/miss tallies, NI admission counts, MemMax thread wins — into a
+        :class:`~repro.obs.metrics.MetricsRegistry` under dotted names
+        (``noc.*``, ``dram.*``, ``ni.*``).
+        """
+        from ..noc.telemetry import register_metrics
+        from ..obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cycles = max(1, self.simulator.cycle)
+        register_metrics(self.network, registry, cycles)
+        for bank, (hits, misses) in sorted(self.stats.per_bank_rows.items()):
+            registry.counter(f"dram.bank{bank}.row_hits").inc(hits)
+            registry.counter(f"dram.bank{bank}.row_misses").inc(misses)
+        registry.counter("dram.commands").inc(self.device.issued_commands)
+        engine = getattr(self.subsystem, "engine", None)
+        if engine is not None:
+            registry.counter("dram.demand_precharges").inc(
+                engine.demand_precharges
+            )
+        scheduler = getattr(self.subsystem, "scheduler", None)
+        if scheduler is not None:
+            for index, wins in enumerate(scheduler.thread_wins):
+                registry.counter(f"dram.memmax.thread{index}.wins").inc(wins)
+        for interface in self.core_interfaces:
+            master = interface.generator.master
+            registry.counter(f"ni.core{master}.injected").inc(
+                interface.injected_packets
+            )
+            registry.counter(f"ni.core{master}.completed").inc(
+                interface.completed_requests
+            )
+        registry.counter("ni.memory.admitted").inc(
+            self.memory_interface.admitted
+        )
+        registry.counter("ni.memory.responses").inc(
+            self.memory_interface.responses_sent
+        )
+        return registry
+
 
 def _address_map_for(timing: DramTiming):
     from ..dram.address_map import AddressMap
@@ -183,9 +255,11 @@ def gss_router_order_for(system: SocSystem) -> List[int]:
     return gss_router_order(system.placement)
 
 
-def build_system(config: SystemConfig) -> SocSystem:
+def build_system(
+    config: SystemConfig, tracer=None, keep_samples: bool = False
+) -> SocSystem:
     """Public entry point: build a runnable system for ``config``."""
-    return SocSystem(config)
+    return SocSystem(config, tracer=tracer, keep_samples=keep_samples)
 
 
 def run_config(config: SystemConfig) -> RunMetrics:

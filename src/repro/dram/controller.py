@@ -28,6 +28,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..obs.events import EventType
 from .commands import CommandKind, DramCommand
 from .device import SdramDevice
 from .refresh import RefreshTimer
@@ -80,6 +81,7 @@ class CommandEngine:
         window: int = 4,
         otf: bool = False,
         refresh: Optional[RefreshTimer] = None,
+        tracer=None,
     ) -> None:
         """``burst_beats`` is the device BL mode; with ``otf`` (DDR III
         BL4/BL8 on-the-fly) a trailing short chunk uses BL 4 instead.
@@ -97,6 +99,7 @@ class CommandEngine:
         self.entries: List[WindowEntry] = []
         self.finished: List[FinishedRequest] = []
         self.demand_precharges = 0
+        self.tracer = tracer
 
     # ------------------------------------------------------------------ #
 
@@ -141,12 +144,22 @@ class CommandEngine:
         command = self._choose_command(cycle)
         if command is not None:
             completion = self.device.issue(cycle, command)
+            tracer = self.tracer
+            if tracer:
+                tracer.emit(
+                    EventType.DRAM_CMD,
+                    cycle,
+                    f"bank{command.bank}",
+                    request_id=command.request_id,
+                    kind=command.kind.value,
+                    row=command.row,
+                )
             if command.kind.is_cas:
                 entry = self._entry_for(command.request_id)
                 assert entry is not None and completion is not None
                 if entry.bursts_issued == 0 and self.device.stats is not None:
                     self.device.stats.record_row_outcome(
-                        cycle, hit=not entry.required_act
+                        cycle, hit=not entry.required_act, bank=command.bank
                     )
                 entry.bursts_issued += 1
                 entry.beats_remaining -= completion.useful_beats

@@ -23,10 +23,13 @@ DATABAHN_LOOKAHEAD = 6
 class DatabahnController(CommandEngine):
     """Command engine with Databahn-style deep page lookahead."""
 
-    def __init__(self, device: SdramDevice, burst_beats: int = 8) -> None:
+    def __init__(
+        self, device: SdramDevice, burst_beats: int = 8, tracer=None
+    ) -> None:
         super().__init__(
             device,
             burst_beats=burst_beats,
             page_policy=PagePolicy.OPEN_PAGE,
             window=DATABAHN_LOOKAHEAD,
+            tracer=tracer,
         )

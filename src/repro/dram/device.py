@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..obs.events import EventType
 from ..sim.stats import StatsCollector
 from .bank import Bank, BankState, TimingViolation
 from .commands import CommandKind, DramCommand
@@ -44,9 +45,15 @@ class BurstCompletion:
 class SdramDevice:
     """One DDR SDRAM device behind a single command/data bus pair."""
 
-    def __init__(self, timing: DramTiming, stats: Optional[StatsCollector] = None):
+    def __init__(
+        self,
+        timing: DramTiming,
+        stats: Optional[StatsCollector] = None,
+        tracer=None,
+    ):
         self.timing = timing
         self.stats = stats
+        self.tracer = tracer
         self.banks: List[Bank] = [Bank(i, timing) for i in range(timing.banks)]
         self._last_command_cycle = -1
         self._next_cas_ok = 0              # tCCD across all banks
@@ -156,6 +163,18 @@ class SdramDevice:
         self._completions.append(completion)
         if self.stats is not None:
             self._account_burst(completion)
+        tracer = self.tracer
+        if tracer:
+            tracer.emit(
+                EventType.DATA_BEAT,
+                data_start,
+                f"bank{command.bank}",
+                request_id=command.request_id,
+                data_end=data_end,
+                beats=command.burst_beats,
+                useful=command.useful_beats,
+                write=command.is_write,
+            )
         return completion
 
     def _account_burst(self, completion: BurstCompletion) -> None:

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Deque, List, Optional
 from collections import deque
 
+from ..obs.events import EventType
 from .request import MemoryRequest
 
 
@@ -88,6 +89,7 @@ class MemMaxScheduler:
         thread_capacity_flits: int = 32,
         priority_first: bool = False,
         sdram_friendly_skip: bool = False,
+        tracer=None,
     ) -> None:
         if threads <= 0:
             raise ValueError("need at least one thread")
@@ -98,6 +100,9 @@ class MemMaxScheduler:
         self.sdram_friendly_skip = sdram_friendly_skip
         self._last_scheduled: Optional[MemoryRequest] = None
         self._rr_pointer = 0
+        self.tracer = tracer
+        #: Arbitration wins per thread index (telemetry).
+        self.thread_wins: List[int] = [0] * threads
 
     # ------------------------------------------------------------------ #
     # Thread assignment / admission
@@ -120,7 +125,7 @@ class MemMaxScheduler:
     # Arbitration
     # ------------------------------------------------------------------ #
 
-    def pop_next(self) -> Optional[MemoryRequest]:
+    def pop_next(self, cycle: int = 0) -> Optional[MemoryRequest]:
         """Select and dequeue the next request for the command engine."""
         candidates = [t for t in self.threads if t.head() is not None]
         if not candidates:
@@ -131,6 +136,17 @@ class MemMaxScheduler:
         request = winner.pop()
         self._last_scheduled = request
         self._rr_pointer = (winner.index + 1) % len(self.threads)
+        self.thread_wins[winner.index] += 1
+        tracer = self.tracer
+        if tracer:
+            tracer.emit(
+                EventType.ARB_GRANT,
+                cycle,
+                f"memmax.t{winner.index}",
+                request_id=request.request_id,
+                bank=request.bank,
+                priority=request.is_priority,
+            )
         return request
 
     def _select(self, candidates: List[ThreadQueue]) -> ThreadQueue:

@@ -44,6 +44,7 @@ class ThinMemorySubsystem:
         otf: bool = False,
         input_capacity: int = 4,
         window: int = 4,
+        tracer=None,
     ) -> None:
         if input_capacity <= 0:
             raise ValueError("input_capacity must be positive")
@@ -54,6 +55,7 @@ class ThinMemorySubsystem:
             page_policy=page_policy,
             window=window,
             otf=otf,
+            tracer=tracer,
         )
         self.input_capacity = input_capacity
         self.queue: Deque[MemoryRequest] = deque()
@@ -109,14 +111,18 @@ class ConvMemorySubsystem:
         priority_first: bool = False,
         threads: int = 4,
         thread_capacity_flits: int = 32,
+        tracer=None,
     ) -> None:
         self.device = device
         self.scheduler = MemMaxScheduler(
             threads=threads,
             thread_capacity_flits=thread_capacity_flits,
             priority_first=priority_first,
+            tracer=tracer,
         )
-        self.engine = DatabahnController(device, burst_beats=burst_beats)
+        self.engine = DatabahnController(
+            device, burst_beats=burst_beats, tracer=tracer
+        )
         self.accepted = 0
 
     def can_accept(self, request: MemoryRequest) -> bool:
@@ -128,7 +134,7 @@ class ConvMemorySubsystem:
 
     def tick(self, cycle: int) -> None:
         while self.engine.has_space:
-            request = self.scheduler.pop_next()
+            request = self.scheduler.pop_next(cycle)
             if request is None:
                 break
             self.engine.accept(request, cycle)
@@ -158,17 +164,18 @@ class ConvMemorySubsystem:
 
 
 def build_memory_subsystem(
-    config: SystemConfig, stats: Optional[StatsCollector] = None
+    config: SystemConfig, stats: Optional[StatsCollector] = None, tracer=None
 ):
     """Construct device + subsystem matching ``config.design`` (Section V)."""
     timing = DramTiming.for_clock(config.ddr, config.clock_mhz)
-    device = SdramDevice(timing, stats=stats)
+    device = SdramDevice(timing, stats=stats, tracer=tracer)
     design = config.design
     if design in (NocDesign.CONV, NocDesign.CONV_PFS):
         subsystem = ConvMemorySubsystem(
             device,
             burst_beats=8,
             priority_first=design is NocDesign.CONV_PFS,
+            tracer=tracer,
         )
     elif design.uses_sagm:
         if config.ddr is DdrGeneration.DDR3:
@@ -189,6 +196,7 @@ def build_memory_subsystem(
             otf=otf,
             window=depth,
             input_capacity=max(2, depth // 2),
+            tracer=tracer,
         )
     else:
         # [4] and plain GSS: thin in-order controller, BL 8, open page.
@@ -199,6 +207,7 @@ def build_memory_subsystem(
             page_policy=PagePolicy.OPEN_PAGE,
             window=depth,
             input_capacity=max(2, depth // 2),
+            tracer=tracer,
         )
     return device, subsystem
 

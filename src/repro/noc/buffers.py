@@ -69,6 +69,9 @@ class InputBuffer:
         self.entries: Deque[FlitEntry] = deque()
         self._arrivals: List[Packet] = []
         self._reserved_slots = 0
+        #: Highest flit occupancy ever reached (telemetry): queue depth at
+        #: the congested memory funnel, not just flit throughput.
+        self.highwater_flits = 0
 
     # ------------------------------------------------------------------ #
     # Upstream (writer) side
@@ -117,14 +120,22 @@ class InputBuffer:
         """One flit of ``entry`` arrived (end-of-cycle commit)."""
         if entry.fully_received:
             raise RuntimeError("flit committed past end of packet")
-        if not self.has_credit():
+        occupancy = self.occupancy_flits
+        if occupancy >= self.capacity_flits:
             raise RuntimeError("flit committed without credit")
         entry.received += 1
+        occupancy += 1
+        if occupancy > self.highwater_flits:
+            self.highwater_flits = occupancy
 
     def push_complete(self, packet: Packet) -> None:
         """Inject a whole packet at once (local NI injection)."""
-        if self.free_flits < packet.size_flits:
+        occupancy = self.occupancy_flits
+        if self.capacity_flits - occupancy < packet.size_flits:
             raise RuntimeError("injection without room for the whole packet")
+        occupancy += packet.size_flits
+        if occupancy > self.highwater_flits:
+            self.highwater_flits = occupancy
         entry = FlitEntry(packet, received=packet.size_flits)
         self.entries.append(entry)
         self._arrivals.append(packet)

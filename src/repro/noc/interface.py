@@ -20,6 +20,7 @@ from itertools import count
 from typing import Dict, Iterator, List, Optional, Protocol, Tuple
 
 from ..dram.request import MemoryRequest
+from ..obs.events import EventType
 from ..sim.stats import StatsCollector
 from .buffers import InputBuffer
 from .packet import Packet, request_packet, response_packet
@@ -68,6 +69,7 @@ class CoreInterface:
         packet_ids: Iterator[int],
         request_ids: Iterator[int],
         splitter: Optional[Splitter] = None,
+        tracer=None,
     ) -> None:
         self.node = node
         self.memory_node = memory_node
@@ -78,6 +80,8 @@ class CoreInterface:
         self.packet_ids = packet_ids
         self.request_ids = request_ids
         self.splitter = splitter
+        self.tracer = tracer
+        self._trace_label = f"core{generator.master}"
         self._pending: List[Packet] = []
         self._reassembly: Dict[int, _Reassembly] = {}
         self.injected_packets = 0
@@ -86,7 +90,7 @@ class CoreInterface:
     def tick(self, cycle: int) -> None:
         self._receive(cycle)
         self._generate(cycle)
-        self._inject()
+        self._inject(cycle)
 
     # ------------------------------------------------------------------ #
 
@@ -113,6 +117,16 @@ class CoreInterface:
                 )
                 self.generator.on_complete(original.request_id, cycle)
                 self.completed_requests += 1
+                tracer = self.tracer
+                if tracer:
+                    tracer.emit(
+                        EventType.COMPLETE,
+                        cycle,
+                        self._trace_label,
+                        request_id=original.request_id,
+                        latency=cycle - original.issued_cycle,
+                        demand=original.is_demand,
+                    )
 
     def _generate(self, cycle: int) -> None:
         for request in self.generator.generate(cycle):
@@ -129,7 +143,7 @@ class CoreInterface:
                     )
                 )
 
-    def _inject(self) -> None:
+    def _inject(self, cycle: int) -> None:
         while self._pending:
             packet = self._pending[0]
             if not self.injection_buffer.can_inject(packet):
@@ -137,6 +151,21 @@ class CoreInterface:
             self.injection_buffer.push_complete(packet)
             self._pending.pop(0)
             self.injected_packets += 1
+            tracer = self.tracer
+            if tracer:
+                request = packet.request
+                tracer.emit(
+                    EventType.INJECT,
+                    cycle,
+                    self._trace_label,
+                    packet_id=packet.packet_id,
+                    request_id=(
+                        request.request_id if request is not None else None
+                    ),
+                    node=self.node,
+                    dst=packet.dst,
+                    flits=packet.size_flits,
+                )
 
     @property
     def outstanding(self) -> int:
@@ -155,6 +184,7 @@ class MemoryInterface:
         master_nodes: Dict[int, int],
         packet_ids: Iterator[int],
         priority_responses: bool = False,
+        tracer=None,
     ) -> None:
         """With ``priority_responses`` the NI injects ready responses for
         priority requests ahead of best-effort ones (the output buffer of
@@ -168,6 +198,8 @@ class MemoryInterface:
         self.master_nodes = master_nodes
         self.packet_ids = packet_ids
         self.priority_responses = priority_responses
+        self.tracer = tracer
+        self._trace_label = f"ni{node}"
         self._ready: List[Tuple[int, int, int, MemoryRequest]] = []  # heap
         self._sequence = count()
         self.admitted = 0
@@ -215,6 +247,19 @@ class MemoryInterface:
             heapq.heappop(self._ready)
             self.injection_buffer.push_complete(packet)
             self.responses_sent += 1
+            tracer = self.tracer
+            if tracer:
+                tracer.emit(
+                    EventType.INJECT,
+                    cycle,
+                    self._trace_label,
+                    packet_id=packet.packet_id,
+                    request_id=request.request_id,
+                    node=self.node,
+                    dst=dst,
+                    flits=packet.size_flits,
+                    side="memory",
+                )
 
     def _promote_ready_priority(self, cycle: int) -> None:
         """Among responses whose data is ready, inject priority ones first

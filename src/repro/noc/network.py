@@ -29,6 +29,7 @@ class MeshNetwork:
         local_buffer_flits: Optional[int] = None,
         routing_policy: RoutingPolicy = RoutingPolicy.XY,
         virtual_channels: int = 1,
+        tracer=None,
     ) -> None:
         """``sink_flits`` maps node -> (capacity_flits, max_packets) for
         that node's local sink — the memory node uses a shallow sink with
@@ -39,7 +40,8 @@ class MeshNetwork:
             Router(node, mesh, controller_factory, buffer_flits,
                    local_buffer_flits=local_buffer_flits,
                    routing_policy=routing_policy,
-                   virtual_channels=virtual_channels)
+                   virtual_channels=virtual_channels,
+                   tracer=tracer)
             for node in mesh.nodes()
         ]
         self.local_sinks: Dict[int, InputBuffer] = {}

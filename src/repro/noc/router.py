@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from ..obs.events import EventType
 from .buffers import FlitEntry, InputBuffer
 from .flow_control import Candidate, FlowController
 from .packet import Packet
@@ -98,6 +99,7 @@ class Router:
         local_buffer_flits: Optional[int] = None,
         routing_policy: RoutingPolicy = RoutingPolicy.XY,
         virtual_channels: int = 1,
+        tracer=None,
     ) -> None:
         """``buffer_flits`` sizes the inter-router input buffers;
         ``local_buffer_flits`` (default: same) sizes the LOCAL injection
@@ -110,6 +112,8 @@ class Router:
         self.node = node
         self.mesh = mesh
         self.routing_policy = routing_policy
+        self.tracer = tracer
+        self._trace_label = f"router{node}"
         self.ports = mesh.ports(node)
         if virtual_channels < 1:
             raise ValueError("need at least one virtual channel")
@@ -259,6 +263,20 @@ class Router:
                 output.packets_sent += 1
                 output.transfer = output._pending_transfer
                 output._pending_transfer = None
+                tracer = self.tracer
+                if tracer:
+                    request = packet.request
+                    tracer.emit(
+                        EventType.HOP,
+                        cycle,
+                        self._trace_label,
+                        packet_id=packet.packet_id,
+                        request_id=(
+                            request.request_id if request is not None else None
+                        ),
+                        port=output.port.name,
+                        flits=packet.size_flits,
+                    )
 
     # ------------------------------------------------------------------ #
 

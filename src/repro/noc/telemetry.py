@@ -48,13 +48,48 @@ def link_stats(network: MeshNetwork, cycles: int) -> List[LinkStats]:
 def hottest_links(
     network: MeshNetwork, cycles: int, top: int = 5
 ) -> List[LinkStats]:
-    """The ``top`` busiest channels (the memory funnel, usually)."""
+    """The ``top`` busiest channels (the memory funnel, usually).
+
+    Ties break deterministically by (node, port name) so reports are
+    stable across runs and Python versions.
+    """
     if top <= 0:
         raise ValueError("top must be positive")
     ordered = sorted(
-        link_stats(network, cycles), key=lambda s: s.flits, reverse=True
+        link_stats(network, cycles),
+        key=lambda s: (-s.flits, s.node, s.port.name),
     )
     return ordered[:top]
+
+
+def buffer_highwater(network: MeshNetwork) -> Dict[Tuple[int, str, int], int]:
+    """Per-input-buffer flit high-water marks, keyed (node, port, lane).
+
+    High-water is the peak *occupancy* a buffer ever reached — the queue
+    depth a designer would size the buffer to, which flit throughput alone
+    does not reveal."""
+    marks: Dict[Tuple[int, str, int], int] = {}
+    for router in network.routers:
+        for port, lanes in router.inputs.items():
+            for lane, buffer in enumerate(lanes):
+                marks[(router.node, port.name, lane)] = buffer.highwater_flits
+    return marks
+
+
+def register_metrics(network: MeshNetwork, registry, cycles: int) -> None:
+    """Publish NoC counters into a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+    Registers per-output flit/packet counters (``noc.link.*``) and
+    per-input-buffer high-water gauges (``noc.buffer.highwater.*``).
+    """
+    for stat in link_stats(network, cycles):
+        label = f"{stat.node}.{stat.port.name.lower()}"
+        registry.counter(f"noc.link.flits.{label}").inc(stat.flits)
+        registry.counter(f"noc.link.packets.{label}").inc(stat.packets)
+    for (node, port, lane), mark in buffer_highwater(network).items():
+        registry.gauge(
+            f"noc.buffer.highwater.{node}.{port.lower()}.{lane}"
+        ).set(mark)
 
 
 def node_throughput(network: MeshNetwork, cycles: int) -> Dict[int, float]:

@@ -1,0 +1,55 @@
+"""Unified observability: lifecycle tracing, metrics, exporters, profiling.
+
+One subsystem answers "where did this packet's cycles go?" at every layer:
+
+* :mod:`repro.obs.events` / :mod:`repro.obs.tracer` — typed lifecycle
+  events (``INJECT`` ... ``COMPLETE``) with a zero-overhead
+  :class:`NullTracer` default and an in-memory recorder;
+* :mod:`repro.obs.metrics` — a counters/gauges/histograms registry that
+  absorbs the stack's ad-hoc counters behind one dotted namespace;
+* :mod:`repro.obs.exporters` — Chrome trace-event JSON (Perfetto /
+  chrome://tracing), JSONL dumps, per-request latency breakdowns;
+* :mod:`repro.obs.profiler` — wall-time attribution per simulator
+  component class, for finding the Python hot spots.
+
+Entry points: ``build_system(config, tracer=MemoryTracer())`` then the
+exporters, or the CLI's ``repro trace`` / ``repro profile``.
+"""
+
+from .events import LIFECYCLE_EVENT_TYPES, EventType, TraceEvent
+from .exporters import (
+    RequestBreakdown,
+    chrome_trace,
+    latency_breakdowns,
+    read_jsonl,
+    render_latency_report,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profiler import SimulatorProfiler
+from .tracer import NULL_TRACER, MemoryTracer, NullTracer, Tracer
+
+__all__ = [
+    "Counter",
+    "EventType",
+    "Gauge",
+    "Histogram",
+    "LIFECYCLE_EVENT_TYPES",
+    "MemoryTracer",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "RequestBreakdown",
+    "SimulatorProfiler",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace",
+    "latency_breakdowns",
+    "read_jsonl",
+    "render_latency_report",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

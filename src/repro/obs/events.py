@@ -1,0 +1,98 @@
+"""Typed packet-lifecycle events.
+
+Every memory request leaves a paper-shaped trail through the stack — it is
+split at the core's NI (SAGM), injected into the mesh, hops router by
+router toward the memory corner, wins (or loses) arbitrations, turns into
+ACT/PRE/CAS commands, occupies the SDRAM data bus, and finally completes
+back at the master.  The tracer records that trail as a flat stream of
+:class:`TraceEvent` records keyed by packet id and request id, one
+:class:`EventType` per lifecycle stage:
+
+=============  ====================================================== =====
+type           emitted by                                             keyed
+=============  ====================================================== =====
+``INJECT``     NI pushing a packet into a router's LOCAL buffer       pkt+req
+``SAGM_SPLIT`` :class:`~repro.core.sagm.SagmSplitter`                 req
+``HOP``        a router forwarding a packet's last flit               pkt+req
+``ARB_GRANT``  a GSS/[4] flow controller or MemMax thread arbiter     pkt/req
+``DRAM_CMD``   the command engine issuing ACT / PRE / RD / WR         req
+``DATA_BEAT``  the SDRAM device scheduling a burst's data interval    req
+``COMPLETE``   the master NI reassembling the last response part      req
+=============  ====================================================== =====
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Optional
+
+
+class EventType(enum.Enum):
+    """The packet-lifecycle vocabulary (see module docstring)."""
+
+    INJECT = "INJECT"
+    SAGM_SPLIT = "SAGM_SPLIT"
+    HOP = "HOP"
+    ARB_GRANT = "ARB_GRANT"
+    DRAM_CMD = "DRAM_CMD"
+    DATA_BEAT = "DATA_BEAT"
+    COMPLETE = "COMPLETE"
+
+
+#: All lifecycle event types, in pipeline order.
+LIFECYCLE_EVENT_TYPES = tuple(EventType)
+
+
+class TraceEvent:
+    """One lifecycle event.
+
+    ``component`` names the emitting hardware unit (``core3``, ``router5``,
+    ``bank2``, ``memmax.t1``); exporters group events into one track per
+    component.  ``args`` carries event-specific detail (port, command kind,
+    burst interval, ...).
+    """
+
+    __slots__ = ("type", "cycle", "component", "packet_id", "request_id", "args")
+
+    def __init__(
+        self,
+        type: EventType,
+        cycle: int,
+        component: str,
+        packet_id: Optional[int] = None,
+        request_id: Optional[int] = None,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.type = type
+        self.cycle = cycle
+        self.component = component
+        self.packet_id = packet_id
+        self.request_id = request_id
+        self.args = args or {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-serializable form (JSONL export)."""
+        record: Dict[str, Any] = {
+            "type": self.type.value,
+            "cycle": self.cycle,
+            "component": self.component,
+        }
+        if self.packet_id is not None:
+            record["packet_id"] = self.packet_id
+        if self.request_id is not None:
+            record["request_id"] = self.request_id
+        if self.args:
+            record["args"] = self.args
+        return record
+
+    def __repr__(self) -> str:
+        ids = []
+        if self.packet_id is not None:
+            ids.append(f"pkt={self.packet_id}")
+        if self.request_id is not None:
+            ids.append(f"req={self.request_id}")
+        tail = f" {' '.join(ids)}" if ids else ""
+        return (
+            f"TraceEvent({self.type.value} @{self.cycle} "
+            f"{self.component}{tail})"
+        )

@@ -1,0 +1,278 @@
+"""Trace exporters: Chrome trace-event JSON, JSONL dumps, latency reports.
+
+The Chrome trace-event exporter writes the JSON object format consumed by
+Perfetto (https://ui.perfetto.dev) and chrome://tracing: one process per
+layer (cores / noc / dram), one named thread track per component
+(``core3``, ``router5``, ``bank0``), timestamps in microseconds with one
+simulated cycle mapped to 1 µs.  ``DATA_BEAT`` events become duration
+slices spanning their burst's bus interval; everything else is a 1-cycle
+slice, so a packet's life reads left-to-right across the tracks.
+
+The latency-breakdown report answers the paper's central question per
+request: of the total latency, how much was queueing/network time before
+the first DRAM command, how much was DRAM service, and how much was the
+response's way back (Tables I–II make the same cut fleet-wide).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .events import EventType, TraceEvent
+
+#: Component-name prefix -> (pid, process name).  Unknown prefixes land in
+#: a catch-all process so exporters never drop events.
+_PROCESSES: Tuple[Tuple[str, int, str], ...] = (
+    ("core", 1, "cores"),
+    ("router", 2, "noc"),
+    ("bank", 3, "dram"),
+    ("memmax", 3, "dram"),
+)
+_OTHER_PID = 9
+
+
+def _process_for(component: str) -> Tuple[int, str]:
+    for prefix, pid, name in _PROCESSES:
+        if component.startswith(prefix):
+            return pid, name
+    return _OTHER_PID, "other"
+
+
+def chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, Any]:
+    """Build a Chrome trace-event document (``traceEvents`` object form)."""
+    records: List[Dict[str, Any]] = []
+    tids: Dict[str, int] = {}
+    processes_seen: Dict[int, str] = {}
+    for event in events:
+        pid, process = _process_for(event.component)
+        processes_seen.setdefault(pid, process)
+        tid = tids.setdefault(event.component, len(tids) + 1)
+        duration = 1
+        if event.type is EventType.DATA_BEAT:
+            data_end = event.args.get("data_end", event.cycle)
+            duration = max(1, data_end - event.cycle + 1)
+        args: Dict[str, Any] = {"cycle": event.cycle}
+        if event.packet_id is not None:
+            args["packet_id"] = event.packet_id
+        if event.request_id is not None:
+            args["request_id"] = event.request_id
+        args.update(event.args)
+        records.append(
+            {
+                "name": event.type.value,
+                "cat": "lifecycle",
+                "ph": "X",
+                "ts": event.cycle,
+                "dur": duration,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    records.sort(key=lambda r: (r["pid"], r["tid"], r["ts"]))
+    metadata: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": name},
+        }
+        for pid, name in sorted(processes_seen.items())
+    ]
+    metadata.extend(
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _process_for(component)[0],
+            "tid": tid,
+            "args": {"name": component},
+        }
+        for component, tid in sorted(tids.items(), key=lambda item: item[1])
+    )
+    return {
+        "traceEvents": metadata + records,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "memory cycles (1 cycle = 1 us)"},
+    }
+
+
+def write_chrome_trace(events: Iterable[TraceEvent], path: str) -> Dict[str, Any]:
+    """Write the Chrome trace for ``events`` to ``path``; return the doc."""
+    document = chrome_trace(events)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    return document
+
+
+def validate_chrome_trace(document: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``document`` is a well-formed trace:
+    required keys present and timestamps monotonic per (pid, tid) track."""
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ValueError("not a trace-event document (missing traceEvents)")
+    last_ts: Dict[Tuple[int, int], float] = {}
+    for record in document["traceEvents"]:
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in record:
+                raise ValueError(f"trace record missing {key!r}: {record}")
+        if record["ph"] == "M":
+            continue
+        if "ts" not in record:
+            raise ValueError(f"non-metadata record missing ts: {record}")
+        track = (record["pid"], record["tid"])
+        ts = record["ts"]
+        if ts < last_ts.get(track, float("-inf")):
+            raise ValueError(
+                f"timestamps not monotonic on track {track}: "
+                f"{ts} after {last_ts[track]}"
+            )
+        last_ts[track] = ts
+
+
+# ---------------------------------------------------------------------- #
+# JSONL
+# ---------------------------------------------------------------------- #
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str) -> int:
+    """Dump events one-JSON-object-per-line; return the line count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event.to_dict()))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL event dump back into dict records."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+# ---------------------------------------------------------------------- #
+# Per-request latency breakdown
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class RequestBreakdown:
+    """Where one completed request's cycles went."""
+
+    request_id: int
+    inject_cycle: int
+    first_dram_cycle: int
+    last_data_cycle: int
+    complete_cycle: int
+
+    @property
+    def total(self) -> int:
+        return self.complete_cycle - self.inject_cycle
+
+    @property
+    def queue_network(self) -> int:
+        """Injection to first DRAM command: NoC transit + all queueing."""
+        return self.first_dram_cycle - self.inject_cycle
+
+    @property
+    def dram_service(self) -> int:
+        """First DRAM command to the last data beat on the bus."""
+        return self.last_data_cycle - self.first_dram_cycle
+
+    @property
+    def response_return(self) -> int:
+        """Last data beat to reassembly at the master."""
+        return self.complete_cycle - self.last_data_cycle
+
+
+def _root_map(events: List[TraceEvent]) -> Dict[int, int]:
+    """Map split-part request ids to their SAGM parent id."""
+    roots: Dict[int, int] = {}
+    for event in events:
+        if event.type is EventType.SAGM_SPLIT and event.request_id is not None:
+            for part in event.args.get("parts", ()):
+                roots[part] = event.request_id
+    return roots
+
+
+def latency_breakdowns(events: Iterable[TraceEvent]) -> List[RequestBreakdown]:
+    """Per-request breakdowns for every request with a complete lifecycle.
+
+    Split requests are folded onto their SAGM parent: the parent's
+    injection is its first part's ``INJECT``, its DRAM window spans all
+    parts' commands and data beats.
+    """
+    events = list(events)
+    roots = _root_map(events)
+    inject: Dict[int, int] = {}
+    first_cmd: Dict[int, int] = {}
+    last_data: Dict[int, int] = {}
+    complete: Dict[int, int] = {}
+    for event in events:
+        if event.request_id is None:
+            continue
+        root = roots.get(event.request_id, event.request_id)
+        if event.type is EventType.INJECT:
+            # Response injection at the memory NI is not request queueing.
+            if event.args.get("side") == "memory":
+                continue
+            if root not in inject or event.cycle < inject[root]:
+                inject[root] = event.cycle
+        elif event.type is EventType.DRAM_CMD:
+            if root not in first_cmd or event.cycle < first_cmd[root]:
+                first_cmd[root] = event.cycle
+        elif event.type is EventType.DATA_BEAT:
+            data_end = event.args.get("data_end", event.cycle)
+            if root not in last_data or data_end > last_data[root]:
+                last_data[root] = data_end
+        elif event.type is EventType.COMPLETE:
+            complete[root] = event.cycle
+    breakdowns = []
+    for request_id in sorted(complete):
+        if request_id not in inject or request_id not in first_cmd:
+            continue
+        if request_id not in last_data:
+            continue
+        breakdowns.append(
+            RequestBreakdown(
+                request_id=request_id,
+                inject_cycle=inject[request_id],
+                first_dram_cycle=first_cmd[request_id],
+                last_data_cycle=last_data[request_id],
+                complete_cycle=complete[request_id],
+            )
+        )
+    return breakdowns
+
+
+def render_latency_report(
+    events: Iterable[TraceEvent], slowest: int = 8
+) -> str:
+    """Fleet summary plus the ``slowest`` worst requests, segment by
+    segment (queue+network / DRAM service / response return)."""
+    breakdowns = latency_breakdowns(events)
+    if not breakdowns:
+        return "latency breakdown: no fully-traced completed requests"
+    count = len(breakdowns)
+    mean = lambda values: sum(values) / count  # noqa: E731
+    lines = [
+        f"latency breakdown over {count} completed requests "
+        "(cycles, mean):",
+        f"  queue+network : {mean([b.queue_network for b in breakdowns]):8.1f}",
+        f"  dram service  : {mean([b.dram_service for b in breakdowns]):8.1f}",
+        f"  response ret. : {mean([b.response_return for b in breakdowns]):8.1f}",
+        f"  total         : {mean([b.total for b in breakdowns]):8.1f}",
+        "",
+        f"{'slowest requests':<18s} {'queue+net':>10s} {'dram':>8s} "
+        f"{'return':>8s} {'total':>8s}",
+    ]
+    for item in sorted(breakdowns, key=lambda b: b.total, reverse=True)[:slowest]:
+        lines.append(
+            f"  req#{item.request_id:<12d} {item.queue_network:>10d} "
+            f"{item.dram_service:>8d} {item.response_return:>8d} "
+            f"{item.total:>8d}"
+        )
+    return "\n".join(lines)

@@ -74,6 +74,12 @@ class TailLatency:
 
     @classmethod
     def from_series(cls, series: LatencySeries) -> "TailLatency":
+        if not series.keep_samples:
+            raise RuntimeError("series was created without keep_samples")
+        if not series.samples:
+            # An empty class (e.g. no demand requests completed) has no
+            # tail; report zeros rather than propagate the ValueError.
+            return cls(mean=0.0, p50=0.0, p95=0.0, p99=0.0, maximum=0)
         return cls(
             mean=series.mean,
             p50=series.percentile(50),

@@ -34,6 +34,7 @@ class Simulator:
         self._components: List[Clocked] = []
         self._cycle = 0
         self._hooks: List[Callable[[int], None]] = []
+        self._profiler = None
 
     @property
     def cycle(self) -> int:
@@ -56,13 +57,26 @@ class Simulator:
         """Call ``hook(cycle)`` at the end of every simulated cycle."""
         self._hooks.append(hook)
 
+    def attach_profiler(self, profiler) -> None:
+        """Route every subsequent cycle through ``profiler.step`` (see
+        :class:`repro.obs.profiler.SimulatorProfiler`); ``None`` detaches.
+        The unprofiled dispatch loop is untouched when detached."""
+        self._profiler = profiler
+
+    @property
+    def profiler(self):
+        return self._profiler
+
     def step(self) -> int:
         """Advance the system by exactly one cycle; return the new cycle count."""
         cycle = self._cycle
-        for component in self._components:
-            component.tick(cycle)
-        for hook in self._hooks:
-            hook(cycle)
+        if self._profiler is None:
+            for component in self._components:
+                component.tick(cycle)
+            for hook in self._hooks:
+                hook(cycle)
+        else:
+            self._profiler.step(self._components, self._hooks, cycle)
         self._cycle = cycle + 1
         return self._cycle
 

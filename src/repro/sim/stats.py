@@ -56,7 +56,11 @@ class LatencySeries:
         if not self.keep_samples:
             raise RuntimeError("series was created without keep_samples")
         if not self.samples:
-            return 0.0
+            raise ValueError(
+                "percentile of an empty series: no latencies recorded "
+                "(check warmup vs. run length, or whether the class ever "
+                "completed)"
+            )
         ordered = sorted(self.samples)
         index = min(len(ordered) - 1, round(q / 100 * (len(ordered) - 1)))
         return float(ordered[index])
@@ -89,6 +93,8 @@ class StatsCollector:
         self.row_hits = 0
         self.row_misses = 0
         self.bank_conflict_precharges = 0
+        # Per-bank (hits, misses) tallies, keyed by bank index.
+        self.per_bank_rows: Dict[int, List[int]] = {}
 
     # ------------------------------------------------------------------ #
     # Request completion
@@ -148,13 +154,20 @@ class StatsCollector:
             return
         self.commands_issued[kind] = self.commands_issued.get(kind, 0) + 1
 
-    def record_row_outcome(self, cycle: int, hit: bool) -> None:
+    def record_row_outcome(
+        self, cycle: int, hit: bool, bank: Optional[int] = None
+    ) -> None:
         if cycle < self.warmup:
             return
         if hit:
             self.row_hits += 1
         else:
             self.row_misses += 1
+        if bank is not None:
+            tally = self.per_bank_rows.get(bank)
+            if tally is None:
+                tally = self.per_bank_rows[bank] = [0, 0]
+            tally[0 if hit else 1] += 1
 
     # ------------------------------------------------------------------ #
     # Derived metrics

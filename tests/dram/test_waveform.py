@@ -91,3 +91,38 @@ class TestRender:
         )
         text = capture.render(banks=[1])
         assert "bank1" in text and "bank0" not in text
+
+
+class TestGolden:
+    def test_bl4_partially_open_schedule(self, ddr2_timing):
+        """Golden rendering of a small BL 4 schedule (Fig. 5 territory).
+
+        Two BL 4 reads to the same row: one ACT, two CAS (tCCD apart), the
+        second carrying the SAGM auto-precharge tag (lowercase ``r``), and
+        their data back-to-back on the bus.  Pins the exact command
+        placement *and* the renderer's output format — a change to either
+        shows up as a readable diff.
+        """
+        capture = run_with_capture(
+            ddr2_timing,
+            [
+                make_request(request_id=0, bank=0, row=1, column=0, beats=4),
+                make_request(
+                    request_id=1, bank=0, row=1, column=4, beats=4,
+                    ap_tag=True,
+                ),
+            ],
+            burst_beats=4,
+            page_policy=PagePolicy.PARTIALLY_OPEN,
+        )
+        expected = "\n".join(
+            [
+                "cycle      0         1         2   ",
+                "           012345678901234567890123",
+                "cmd        A....R.r................",
+                "bank0      A....R.r................",
+                "data       ..........RRRR..........",
+                "           A=ACT R/W=CAS (lowercase = auto-precharge) P=PRE",
+            ]
+        )
+        assert capture.render(end=24) == expected

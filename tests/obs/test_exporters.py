@@ -1,0 +1,200 @@
+"""Exporter tests: Chrome trace JSON, JSONL, latency breakdowns."""
+
+import json
+
+import pytest
+
+from repro.obs.events import EventType, TraceEvent
+from repro.obs.exporters import (
+    RequestBreakdown,
+    chrome_trace,
+    latency_breakdowns,
+    read_jsonl,
+    render_latency_report,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def lifecycle_events(request_id=1, packet_id=10):
+    """A minimal complete lifecycle for one unsplit request."""
+    return [
+        TraceEvent(EventType.INJECT, 100, "core0", packet_id, request_id),
+        TraceEvent(EventType.HOP, 101, "router1", packet_id, request_id,
+                   args={"port": "EAST"}),
+        TraceEvent(EventType.ARB_GRANT, 102, "gss0.local", packet_id,
+                   request_id),
+        TraceEvent(EventType.DRAM_CMD, 110, "bank0", None, request_id,
+                   args={"kind": "ACT"}),
+        TraceEvent(EventType.DRAM_CMD, 115, "bank0", None, request_id,
+                   args={"kind": "RD"}),
+        TraceEvent(EventType.DATA_BEAT, 118, "bank0", None, request_id,
+                   args={"data_end": 121}),
+        TraceEvent(EventType.COMPLETE, 130, "core0", None, request_id,
+                   args={"latency": 30}),
+    ]
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        doc = chrome_trace(lifecycle_events())
+        assert "traceEvents" in doc
+        validate_chrome_trace(doc)
+
+    def test_one_track_per_component(self):
+        doc = chrome_trace(lifecycle_events())
+        thread_names = {
+            record["args"]["name"]
+            for record in doc["traceEvents"]
+            if record["ph"] == "M" and record["name"] == "thread_name"
+        }
+        assert thread_names == {"core0", "router1", "gss0.local", "bank0"}
+
+    def test_processes_group_layers(self):
+        doc = chrome_trace(lifecycle_events())
+        processes = {
+            record["args"]["name"]
+            for record in doc["traceEvents"]
+            if record["ph"] == "M" and record["name"] == "process_name"
+        }
+        assert {"cores", "noc", "dram"} <= processes
+
+    def test_data_beat_duration_spans_burst(self):
+        doc = chrome_trace(lifecycle_events())
+        beat = next(
+            r for r in doc["traceEvents"] if r.get("name") == "DATA_BEAT"
+        )
+        assert beat["ts"] == 118
+        assert beat["dur"] == 4  # 118..121 inclusive
+
+    def test_serializable(self):
+        json.dumps(chrome_trace(lifecycle_events()))
+
+    def test_write_round_trip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(lifecycle_events(), str(path))
+        doc = json.loads(path.read_text())
+        validate_chrome_trace(doc)
+        names = {r["name"] for r in doc["traceEvents"] if r["ph"] != "M"}
+        assert names == {
+            "INJECT", "HOP", "ARB_GRANT", "DRAM_CMD", "DATA_BEAT", "COMPLETE"
+        }
+
+
+class TestValidation:
+    def test_missing_trace_events_rejected(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({"foo": []})
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            validate_chrome_trace({"traceEvents": [{"name": "X", "ph": "X"}]})
+
+    def test_non_monotonic_track_rejected(self):
+        doc = {
+            "traceEvents": [
+                {"name": "a", "ph": "X", "pid": 1, "tid": 1, "ts": 10},
+                {"name": "b", "ph": "X", "pid": 1, "tid": 1, "ts": 5},
+            ]
+        }
+        with pytest.raises(ValueError, match="monotonic"):
+            validate_chrome_trace(doc)
+
+    def test_separate_tracks_independent(self):
+        doc = {
+            "traceEvents": [
+                {"name": "a", "ph": "X", "pid": 1, "tid": 1, "ts": 10},
+                {"name": "b", "ph": "X", "pid": 1, "tid": 2, "ts": 5},
+            ]
+        }
+        validate_chrome_trace(doc)
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        events = lifecycle_events()
+        count = write_jsonl(events, str(path))
+        assert count == len(events)
+        records = read_jsonl(str(path))
+        assert [r["type"] for r in records] == [e.type.value for e in events]
+        assert records[0]["component"] == "core0"
+
+
+class TestLatencyBreakdown:
+    def test_segments(self):
+        (breakdown,) = latency_breakdowns(lifecycle_events())
+        assert breakdown.inject_cycle == 100
+        assert breakdown.first_dram_cycle == 110
+        assert breakdown.last_data_cycle == 121
+        assert breakdown.complete_cycle == 130
+        assert breakdown.queue_network == 10
+        assert breakdown.dram_service == 11
+        assert breakdown.response_return == 9
+        assert breakdown.total == 30
+        assert (
+            breakdown.queue_network
+            + breakdown.dram_service
+            + breakdown.response_return
+            == breakdown.total
+        )
+
+    def test_split_parts_fold_onto_parent(self):
+        events = [
+            TraceEvent(EventType.SAGM_SPLIT, 99, "core0", None, 1,
+                       args={"parts": [11, 12]}),
+            TraceEvent(EventType.INJECT, 100, "core0", 21, 11),
+            TraceEvent(EventType.INJECT, 104, "core0", 22, 12),
+            TraceEvent(EventType.DRAM_CMD, 110, "bank0", None, 11),
+            TraceEvent(EventType.DRAM_CMD, 114, "bank0", None, 12),
+            TraceEvent(EventType.DATA_BEAT, 112, "bank0", None, 11,
+                       args={"data_end": 113}),
+            TraceEvent(EventType.DATA_BEAT, 116, "bank0", None, 12,
+                       args={"data_end": 117}),
+            TraceEvent(EventType.COMPLETE, 125, "core0", None, 1),
+        ]
+        (breakdown,) = latency_breakdowns(events)
+        assert breakdown.request_id == 1
+        assert breakdown.inject_cycle == 100  # first part's injection
+        assert breakdown.last_data_cycle == 117  # last part's data
+        assert breakdown.complete_cycle == 125
+
+    def test_memory_side_inject_ignored(self):
+        events = lifecycle_events()
+        # A response injection at the memory NI *before* the core's
+        # injection must not shift the queueing segment.
+        events.insert(
+            0,
+            TraceEvent(EventType.INJECT, 50, "ni0", 99, 1,
+                       args={"side": "memory"}),
+        )
+        (breakdown,) = latency_breakdowns(events)
+        assert breakdown.inject_cycle == 100
+
+    def test_incomplete_lifecycles_skipped(self):
+        events = [
+            TraceEvent(EventType.INJECT, 100, "core0", 10, 1),
+            TraceEvent(EventType.COMPLETE, 120, "core0", None, 1),
+        ]
+        assert latency_breakdowns(events) == []
+
+    def test_report_renders(self):
+        text = render_latency_report(lifecycle_events())
+        assert "queue+network" in text
+        assert "req#1" in text
+
+    def test_report_empty(self):
+        assert "no fully-traced" in render_latency_report([])
+
+
+class TestRequestBreakdownProperties:
+    def test_dataclass_segments(self):
+        breakdown = RequestBreakdown(
+            request_id=1, inject_cycle=0, first_dram_cycle=4,
+            last_data_cycle=9, complete_cycle=12,
+        )
+        assert breakdown.queue_network == 4
+        assert breakdown.dram_service == 5
+        assert breakdown.response_return == 3
+        assert breakdown.total == 12

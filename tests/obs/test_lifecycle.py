@@ -1,0 +1,136 @@
+"""End-to-end tracing: a traced run emits the full lifecycle vocabulary."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.system import build_system
+from repro.obs import MemoryTracer
+from repro.obs.events import LIFECYCLE_EVENT_TYPES, EventType
+from repro.obs.exporters import (
+    chrome_trace,
+    latency_breakdowns,
+    validate_chrome_trace,
+)
+from repro.sim.config import NocDesign, SystemConfig
+
+
+@pytest.fixture(scope="module")
+def traced():
+    tracer = MemoryTracer()
+    system = build_system(
+        SystemConfig(cycles=3_000, warmup=0), tracer=tracer
+    )
+    system.run()
+    return system, tracer
+
+
+class TestVocabulary:
+    def test_all_seven_event_types_emitted(self, traced):
+        _, tracer = traced
+        seen = {event.type for event in tracer}
+        assert seen == set(LIFECYCLE_EVENT_TYPES)
+
+    def test_conv_design_emits_memmax_grants(self):
+        tracer = MemoryTracer()
+        config = replace(
+            SystemConfig(cycles=2_500, warmup=0), design=NocDesign.CONV
+        )
+        build_system(config, tracer=tracer).run()
+        grants = tracer.of_type(EventType.ARB_GRANT)
+        assert grants
+        assert all(e.component.startswith("memmax.t") for e in grants)
+
+    def test_untraced_system_emits_nothing(self):
+        # tracer=None must build and run identically, just silently.
+        system = build_system(SystemConfig(cycles=1_000, warmup=0))
+        metrics = system.run()
+        assert metrics.cycles == 1_000
+
+
+class TestEventConsistency:
+    def test_lifecycle_ordering_per_request(self, traced):
+        _, tracer = traced
+        for breakdown in latency_breakdowns(tracer.events):
+            assert (
+                breakdown.inject_cycle
+                <= breakdown.first_dram_cycle
+                <= breakdown.last_data_cycle
+                <= breakdown.complete_cycle
+            )
+
+    def test_completions_match_interfaces(self, traced):
+        system, tracer = traced
+        completed = sum(
+            ci.completed_requests for ci in system.core_interfaces
+        )
+        assert len(tracer.of_type(EventType.COMPLETE)) == completed
+
+    def test_split_parts_cover_injections(self, traced):
+        _, tracer = traced
+        part_ids = set()
+        for event in tracer.of_type(EventType.SAGM_SPLIT):
+            part_ids.update(event.args["parts"])
+        request_injects = {
+            e.request_id
+            for e in tracer.of_type(EventType.INJECT)
+            if e.args.get("side") != "memory"
+        }
+        # Every request packet injected at a core NI came out of the
+        # splitter (gss+sagm default config splits everything).
+        assert request_injects <= part_ids
+
+    def test_hops_reference_routers(self, traced):
+        _, tracer = traced
+        hops = tracer.of_type(EventType.HOP)
+        assert hops
+        assert all(e.component.startswith("router") for e in hops)
+        assert all(e.packet_id is not None for e in hops)
+
+
+class TestChromeExport:
+    def test_valid_trace_with_all_types(self, traced):
+        _, tracer = traced
+        doc = chrome_trace(tracer.events)
+        validate_chrome_trace(doc)
+        names = {
+            record["name"]
+            for record in doc["traceEvents"]
+            if record["ph"] != "M"
+        }
+        assert names == {t.value for t in LIFECYCLE_EVENT_TYPES}
+
+    def test_breakdowns_nonempty(self, traced):
+        _, tracer = traced
+        breakdowns = latency_breakdowns(tracer.events)
+        assert breakdowns
+        assert all(b.total > 0 for b in breakdowns)
+
+
+class TestMetricsCollection:
+    def test_registry_absorbs_component_counters(self, traced):
+        system, _ = traced
+        registry = system.collect_metrics()
+        assert registry.names("noc.link.flits")
+        assert registry.names("noc.buffer.highwater")
+        assert registry.names("dram")
+        total_injected = sum(
+            registry.get(name).value
+            for name in registry.names("ni")
+            if name.endswith(".injected")
+        )
+        assert total_injected == sum(
+            ci.injected_packets for ci in system.core_interfaces
+        )
+
+    def test_per_bank_row_outcomes_registered(self, traced):
+        system, _ = traced
+        registry = system.collect_metrics()
+        hits = [
+            registry.get(name).value
+            for name in registry.names()
+            if name.endswith(".row_hits")
+        ]
+        assert hits and sum(hits) > 0
+        # Per-bank tallies must sum to the fleet-wide stats counters.
+        assert sum(hits) == system.stats.row_hits

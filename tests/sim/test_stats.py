@@ -146,5 +146,6 @@ class TestPercentiles:
         with pytest.raises(ValueError):
             series.percentile(101)
 
-    def test_empty_percentile_zero(self):
-        assert LatencySeries(keep_samples=True).percentile(99) == 0.0
+    def test_empty_percentile_raises(self):
+        with pytest.raises(ValueError, match="empty series"):
+            LatencySeries(keep_samples=True).percentile(99)

@@ -46,6 +46,18 @@ class TestCommands:
         assert code == 0
         assert "gss+sagm+sti" in capsys.readouterr().out
 
+    def test_run_percentiles(self, capsys):
+        code = main(["run", "--cycles", "1500", "--warmup", "200",
+                     "--percentiles"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "percentiles" in out
+        assert "p50=" in out and "p95=" in out and "p99=" in out
+
+    def test_run_without_percentiles_omits_line(self, capsys):
+        assert main(["run", "--cycles", "1200", "--warmup", "200"]) == 0
+        assert "percentiles" not in capsys.readouterr().out
+
     def test_table4_renders(self, capsys):
         assert main(["table4"]) == 0
         assert "Table IV" in capsys.readouterr().out
@@ -81,3 +93,55 @@ class TestExhibitCommands:
                      "--warmup", "100", "--seeds", "2010"])
         assert code == 0
         assert path.exists()
+
+
+class TestTraceCommand:
+    def test_trace_writes_valid_chrome_json(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.events import LIFECYCLE_EVENT_TYPES
+        from repro.obs.exporters import validate_chrome_trace
+
+        path = tmp_path / "trace.json"
+        code = main(["trace", "--cycles", "2500", "-o", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events" in out and "latency breakdown" in out
+        document = json.loads(path.read_text())
+        validate_chrome_trace(document)
+        names = {
+            record["name"]
+            for record in document["traceEvents"]
+            if record["ph"] != "M"
+        }
+        assert names == {t.value for t in LIFECYCLE_EVENT_TYPES}
+
+    def test_trace_jsonl_dump(self, capsys, tmp_path):
+        from repro.obs.exporters import read_jsonl
+
+        trace = tmp_path / "trace.json"
+        jsonl = tmp_path / "events.jsonl"
+        code = main(["trace", "--cycles", "1500", "-o", str(trace),
+                     "--jsonl", str(jsonl)])
+        assert code == 0
+        records = read_jsonl(str(jsonl))
+        assert records
+        assert all("type" in r and "cycle" in r for r in records)
+
+    def test_trace_limit_reports_drops(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        code = main(["trace", "--cycles", "2000", "-o", str(path),
+                     "--limit", "50"])
+        assert code == 0
+        assert "dropped" in capsys.readouterr().out
+
+
+class TestProfileCommand:
+    def test_profile_reports_component_shares(self, capsys):
+        code = main(["profile", "--cycles", "1500", "--window", "500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulator profile" in out
+        assert "MeshNetwork" in out
+        assert "component class" in out
+        assert "windows" in out

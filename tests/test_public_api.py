@@ -6,6 +6,7 @@ import repro.cost
 import repro.dram
 import repro.experiments
 import repro.noc
+import repro.obs
 import repro.sim
 import repro.workloads
 
@@ -20,7 +21,8 @@ def test_top_level_quickstart_surface():
 
 def test_all_exports_resolve():
     for module in (repro, repro.core, repro.cost, repro.dram,
-                   repro.experiments, repro.noc, repro.sim, repro.workloads):
+                   repro.experiments, repro.noc, repro.obs, repro.sim,
+                   repro.workloads):
         for name in module.__all__:
             assert hasattr(module, name), f"{module.__name__}.{name} missing"
 

@@ -44,10 +44,15 @@ def test_any_configuration_serves_traffic(raw):
     config = build_config(raw)
     system = build_system(config)
     metrics = system.run()
-    assert metrics.completed > 0
+    # Degenerate configs (e.g. SAGM splitting with zero GSS routers and
+    # round-robin arbitration) can have per-request latency beyond the
+    # post-warmup window, leaving the warmup-filtered collector empty —
+    # so assert service at the interfaces, which counts every completion.
+    assert sum(ci.completed_requests for ci in system.core_interfaces) > 0
     assert 0.0 < metrics.utilization <= 1.0
     assert metrics.utilization <= metrics.raw_utilization + 1e-9
-    assert metrics.latency_all > 0
+    if metrics.completed:
+        assert metrics.latency_all > 0
     # conservation at the memory boundary
     mi = system.memory_interface
     assert mi.responses_sent <= mi.admitted
