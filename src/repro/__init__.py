@@ -19,18 +19,30 @@ Quick start::
 
 from .core.system import SocSystem, build_system, run_config
 from .obs import MemoryTracer, MetricsRegistry, NullTracer, SimulatorProfiler
-from .sim.config import DdrGeneration, NocDesign, SystemConfig, paper_configs
+from .resilience import FaultConfig, FaultInjector, FaultSite, ScheduledFault
+from .sim.config import (
+    ConfigError,
+    DdrGeneration,
+    NocDesign,
+    SystemConfig,
+    paper_configs,
+)
 from .sim.stats import RunMetrics
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "ConfigError",
     "DdrGeneration",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultSite",
     "MemoryTracer",
     "MetricsRegistry",
     "NocDesign",
     "NullTracer",
     "RunMetrics",
+    "ScheduledFault",
     "SimulatorProfiler",
     "SocSystem",
     "SystemConfig",

@@ -58,6 +58,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="also report p50/p95/p99 latency (keeps per-request samples)",
     )
 
+    faults = sub.add_parser(
+        "faults",
+        help="fault-injection sweep: utilization/latency vs fault rate, "
+        "with the full fault ledger (exits nonzero on hung requests or "
+        "unaccounted faults)",
+    )
+    faults.add_argument(
+        "--rates", type=float, nargs="+", default=None, metavar="RATE",
+        help="uniform fault rates to sweep (default: 0 1e-4 1e-3 1e-2)",
+    )
+    faults.add_argument("--app", default="single_dtv")
+    faults.add_argument("--cycles", type=int, default=None)
+    faults.add_argument("--warmup", type=int, default=None)
+    faults.add_argument("--seed", type=int, default=2010)
+
     trace = sub.add_parser(
         "trace",
         help="simulate one configuration with packet-lifecycle tracing",
@@ -153,9 +168,24 @@ def _add_config_args(
     parser.add_argument(
         "--link-buffers", type=int, default=12, metavar="FLITS"
     )
+    parser.add_argument(
+        "--fault-rate", type=float, default=0.0, metavar="RATE",
+        help="uniform fault-injection rate (0 builds no resilience "
+        "machinery at all; see repro.resilience)",
+    )
+    parser.add_argument(
+        "--check-invariants", action="store_true",
+        help="attach the live invariant checker (credit/token "
+        "conservation, packet-age bound)",
+    )
 
 
 def _config_from(args) -> SystemConfig:
+    faults = None
+    if getattr(args, "fault_rate", 0.0) > 0.0:
+        from .resilience import FaultConfig
+
+        faults = FaultConfig.uniform(args.fault_rate)
     return SystemConfig(
         app=args.app,
         design=args.design,
@@ -171,6 +201,8 @@ def _config_from(args) -> SystemConfig:
         num_gss_routers=args.gss_routers,
         virtual_channels=args.vcs,
         link_buffer_flits=args.link_buffers,
+        faults=faults,
+        check_invariants=getattr(args, "check_invariants", False),
     )
 
 
@@ -210,6 +242,27 @@ def _cmd_run(args) -> None:
             )
         else:
             print("percentiles   : n/a (no completed requests)")
+    if system.resilience is not None:
+        quiesced = system.drain()
+        controller = system.resilience
+        print(
+            "faults        : "
+            f"injected={controller.injected_total} "
+            f"corrected={controller.corrected} "
+            f"recovered={controller.recovered} "
+            f"failed={controller.failed_faults} "
+            f"unresolved={controller.unresolved}"
+        )
+        print(
+            "recovery      : "
+            f"crc_retries={controller.crc_retries} "
+            f"dram_rereads={controller.dram_reread_count} "
+            f"watchdog={controller.watchdog_reissues} "
+            f"failed_requests={controller.failed_requests}"
+        )
+        if not quiesced:
+            print("WARNING       : system did not drain to quiescence",
+                  file=sys.stderr)
 
 
 def _cmd_trace(args) -> None:
@@ -240,6 +293,29 @@ def _cmd_trace(args) -> None:
     print(render_latency_report(tracer.events, slowest=args.slowest))
 
 
+def _cmd_faults(args) -> int:
+    from .experiments import fault_sweep
+
+    kwargs = dict(seed=args.seed, app=args.app)
+    if args.rates is not None:
+        kwargs["rates"] = tuple(args.rates)
+    if args.cycles is not None:
+        kwargs["cycles"] = args.cycles
+    if args.warmup is not None:
+        kwargs["warmup"] = args.warmup
+    points = fault_sweep.run_fault_sweep(**kwargs)
+    print(fault_sweep.render(points))
+    hung = [p for p in points if not p.quiesced]
+    unaccounted = [p for p in points if not p.accounted]
+    if hung:
+        print(f"FAIL: {len(hung)} sweep point(s) did not drain "
+              f"(hung requests)", file=sys.stderr)
+    if unaccounted:
+        print(f"FAIL: {len(unaccounted)} sweep point(s) left injected "
+              f"faults unaccounted", file=sys.stderr)
+    return 1 if hung or unaccounted else 0
+
+
 def _cmd_profile(args) -> None:
     from .obs import SimulatorProfiler
 
@@ -258,6 +334,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         _cmd_run(args)
+    elif args.command == "faults":
+        return _cmd_faults(args)
     elif args.command == "trace":
         _cmd_trace(args)
     elif args.command == "profile":

@@ -120,6 +120,12 @@ class GssFlowController(MemoryFlowController):
         # token entry and any priority-exclusion it was enforcing.
         self.table.on_scheduled(packet)
 
+    def tracked_packet_ids(self):
+        return self.table.tracked_packet_ids()
+
+    def token_counts(self):
+        return self.table.token_counts()
+
 
 class SdramAwareFlowController(GssFlowController):
     """The SDRAM-aware NoC baseline [4]: priority-equal GSS (PCT = 1).
@@ -169,3 +175,9 @@ class PfsMemoryFlowController(MemoryFlowController):
 
     def on_withdrawn(self, packet: Packet, cycle: int) -> None:
         self.inner.on_withdrawn(packet, cycle)
+
+    def tracked_packet_ids(self):
+        return self.inner.tracked_packet_ids()
+
+    def token_counts(self):
+        return self.inner.token_counts()

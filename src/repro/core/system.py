@@ -65,6 +65,21 @@ class SocSystem:
         self.device, self.subsystem = build_memory_subsystem(
             config, self.stats, tracer=tracer
         )
+        # Fault injection / protection (imported lazily: ``faults=None``
+        # — the default — builds none of it and touches no resilience
+        # module at all).
+        self.fault_injector = None
+        self.resilience = None
+        if config.faults is not None:
+            from ..resilience.faults import FaultInjector
+            from ..resilience.protection import ResilienceController
+
+            self.fault_injector = FaultInjector(
+                config.faults, seed=config.seed, tracer=tracer
+            )
+            self.resilience = ResilienceController(
+                self.fault_injector, config.faults, tracer=tracer
+            )
         self.gss_nodes = self._gss_nodes()
         self.network = MeshNetwork(
             self.placement.mesh,
@@ -82,7 +97,10 @@ class SocSystem:
             # turn into a FIFO priority packets cannot overtake.
             sink_flits={self.placement.memory_node: (36, 4)},
             tracer=tracer,
+            fault_injector=self.fault_injector,
         )
+        if self.fault_injector is not None:
+            self.fault_injector.attach_network(self.network)
         self._request_ids = count()
         self._packet_ids = count()
         self.cores: List[SyntheticCore] = []
@@ -104,11 +122,45 @@ class SocSystem:
                 config.priority_enabled and config.design is not NocDesign.CONV
             ),
             tracer=tracer,
+            resilience=self.resilience,
         )
         self.simulator = Simulator()
+        self.watchdog = None
+        if self.resilience is not None:
+            for interface in self.core_interfaces:
+                self.resilience.register_core(
+                    interface.generator.master, interface
+                )
+            self.resilience.attach_memory(self.memory_interface)
+            # The controller ticks first so retransmissions released this
+            # cycle reach the NIs before they inject.
+            self.simulator.add(self.resilience)
         self.simulator.add_all(self.core_interfaces)
         self.simulator.add(self.network)
         self.simulator.add(self.memory_interface)
+        if self.resilience is not None:
+            from ..resilience.watchdog import RequestWatchdog
+
+            # The watchdog ticks last: it must see this cycle's response
+            # deliveries before judging a request stalled.
+            self.watchdog = RequestWatchdog(
+                self.resilience, self.core_interfaces, config.faults
+            )
+            self.simulator.add(self.watchdog)
+        self.invariant_checker = None
+        if config.check_invariants:
+            from ..resilience.invariants import InvariantChecker
+
+            self.invariant_checker = InvariantChecker(
+                self.network,
+                max_packet_age=(
+                    config.faults.max_packet_age
+                    if config.faults is not None
+                    else 16384
+                ),
+                tracer=tracer,
+            )
+            self.invariant_checker.attach(self.simulator)
 
     # ------------------------------------------------------------------ #
     # Construction details
@@ -184,6 +236,7 @@ class SocSystem:
                     request_ids=self._request_ids,
                     splitter=splitter,
                     tracer=self.tracer,
+                    resilience=self.resilience,
                 )
             )
 
@@ -195,6 +248,32 @@ class SocSystem:
         total = cycles if cycles is not None else self.config.cycles
         self.simulator.run(total)
         return RunMetrics.from_collector(self.stats, self.simulator.cycle)
+
+    def drain(self, max_cycles: int = 50_000) -> bool:
+        """Stop traffic generation and fault injection, then run until
+        every outstanding request resolves (completed or failed) and the
+        fabric and memory subsystem empty out.  Returns ``True`` if the
+        system reached quiescence within ``max_cycles`` — a run with
+        resilience enabled must, or requests have hung.
+        """
+        for interface in self.core_interfaces:
+            interface.draining = True
+        if self.fault_injector is not None:
+            self.fault_injector.enabled = False
+
+        def quiesced() -> bool:
+            return (
+                all(
+                    not interface._reassembly and not interface._pending
+                    for interface in self.core_interfaces
+                )
+                and self.network.in_flight_packets == 0
+                and self.memory_interface.idle
+                and (self.resilience is None or not self.resilience.busy)
+            )
+
+        self.simulator.run(max_cycles, until=quiesced)
+        return quiesced()
 
     # ------------------------------------------------------------------ #
     # Observability
@@ -242,6 +321,15 @@ class SocSystem:
         registry.counter("ni.memory.responses").inc(
             self.memory_interface.responses_sent
         )
+        if self.resilience is not None:
+            self.resilience.metrics_into(registry)
+            registry.counter("resilience.failed_core_requests").inc(
+                sum(i.failed_requests for i in self.core_interfaces)
+            )
+        if self.invariant_checker is not None:
+            registry.counter("resilience.invariant_checks").inc(
+                self.invariant_checker.checks_run
+            )
         return registry
 
 

@@ -121,6 +121,14 @@ class TokenTable:
     def __len__(self) -> int:
         return len(self._entries)
 
+    # --- introspection (invariant checking) --------------------------- #
+
+    def tracked_packet_ids(self) -> set:
+        return set(self._entries)
+
+    def token_counts(self) -> List[Tuple[int, Packet]]:
+        return [(e.tokens, e.packet) for e in self._entries.values()]
+
     @property
     def pending_priority_banks(self) -> List[int]:
         return [bank for bank, _ in self._pending_priority.values()]

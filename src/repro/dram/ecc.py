@@ -1,0 +1,141 @@
+"""SEC-DED ECC model for the SDRAM data path.
+
+Models the standard (72, 64) Hamming single-error-correct /
+double-error-detect code used on ECC DIMMs: 64 data bits plus 7 Hamming
+check bits plus 1 overall parity bit per word.
+
+Two layers:
+
+* :func:`encode` / :func:`decode` — a real, bit-exact implementation over
+  64-bit words, so the correction logic itself is testable: flip any one
+  of the 72 codeword bits and :func:`decode` returns the original word
+  with :attr:`EccOutcome.CORRECTED`; flip two and it reports
+  :attr:`EccOutcome.DETECTED` without mis-correcting.
+* :class:`SecDedEcc` — the cycle-level accountant the memory subsystem
+  uses: the fault injector tells it how many error bits a read burst
+  carries, and it classifies the outcome and keeps the corrected /
+  detected counters.  (Workloads are synthetic, so the simulator never
+  stores the data itself — the word-level code is the reference the
+  classification abstracts.)
+"""
+
+from __future__ import annotations
+
+import enum
+
+DATA_BITS = 64
+#: Hamming check bits for 64 data bits (2**7 - 7 - 1 >= 64) plus the
+#: overall parity bit that upgrades SEC to SEC-DED.
+CHECK_BITS = 7
+CODEWORD_BITS = DATA_BITS + CHECK_BITS + 1  # 72
+
+
+class EccOutcome(enum.Enum):
+    CLEAN = "clean"          # no error
+    CORRECTED = "corrected"  # single-bit error, fixed in flight
+    DETECTED = "detected"    # multi-bit error: report, do not correct
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value & (value - 1) == 0
+
+
+def _hamming_positions() -> list:
+    """1-based codeword positions holding data bits (non powers of two)."""
+    positions = []
+    position = 1
+    while len(positions) < DATA_BITS:
+        if not _is_power_of_two(position):
+            positions.append(position)
+        position += 1
+    return positions
+
+
+_DATA_POSITIONS = _hamming_positions()
+_HAMMING_BITS = _DATA_POSITIONS[-1]  # highest used position (71)
+
+
+def encode(word: int) -> int:
+    """Encode a 64-bit ``word`` into a 72-bit SEC-DED codeword.
+
+    Bit 0 of the result is the overall parity bit; bits 1..71 are the
+    Hamming codeword in standard position order (check bits at the
+    power-of-two positions).
+    """
+    if not 0 <= word < (1 << DATA_BITS):
+        raise ValueError("word must fit in 64 bits")
+    codeword = 0
+    for index, position in enumerate(_DATA_POSITIONS):
+        if (word >> index) & 1:
+            codeword |= 1 << position
+    for check in range(CHECK_BITS):
+        parity_position = 1 << check
+        parity = 0
+        for position in range(1, _HAMMING_BITS + 1):
+            if position & parity_position and (codeword >> position) & 1:
+                parity ^= 1
+        if parity:
+            codeword |= 1 << parity_position
+    overall = bin(codeword).count("1") & 1
+    return codeword | overall  # bit 0 makes total codeword parity even
+
+
+def decode(codeword: int) -> tuple:
+    """Decode a codeword; return ``(word, outcome)``.
+
+    Single-bit errors (anywhere in the codeword, check bits included) are
+    corrected; double-bit errors are detected and reported with the
+    uncorrected data.
+    """
+    if not 0 <= codeword < (1 << CODEWORD_BITS):
+        raise ValueError("codeword must fit in 72 bits")
+    syndrome = 0
+    for check in range(CHECK_BITS):
+        parity_position = 1 << check
+        parity = 0
+        for position in range(1, _HAMMING_BITS + 1):
+            if position & parity_position and (codeword >> position) & 1:
+                parity ^= 1
+        if parity:
+            syndrome |= parity_position
+    overall_error = bin(codeword).count("1") & 1
+    if syndrome == 0 and not overall_error:
+        outcome = EccOutcome.CLEAN
+    elif overall_error:
+        # Odd number of flipped bits: a single-bit error, correctable.
+        # syndrome == 0 means the overall parity bit itself flipped.
+        if syndrome:
+            codeword ^= 1 << syndrome
+        else:
+            codeword ^= 1
+        outcome = EccOutcome.CORRECTED
+    else:
+        # Even flip count with a nonzero syndrome: double-bit error.
+        outcome = EccOutcome.DETECTED
+    word = 0
+    for index, position in enumerate(_DATA_POSITIONS):
+        if (codeword >> position) & 1:
+            word |= 1 << index
+    return word, outcome
+
+
+class SecDedEcc:
+    """Burst-level SEC-DED accountant for the memory subsystem."""
+
+    def __init__(self) -> None:
+        self.clean_bursts = 0
+        self.corrected = 0
+        self.detected = 0
+
+    def classify(self, error_bits: int) -> EccOutcome:
+        """Outcome for a read burst carrying ``error_bits`` flipped bits."""
+        if error_bits < 0:
+            raise ValueError("error bits must be non-negative")
+        if error_bits == 0:
+            self.clean_bursts += 1
+            return EccOutcome.CLEAN
+        if error_bits == 1:
+            self.corrected += 1
+            return EccOutcome.CORRECTED
+        self.detected += 1
+        return EccOutcome.DETECTED

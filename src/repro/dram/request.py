@@ -45,6 +45,10 @@ class MemoryRequest:
     split_index: int = 0
     split_count: int = 1
     ap_tag: bool = False        # set on the last short packet of a split
+    #: Watchdog re-issue generation (see :mod:`repro.resilience.watchdog`):
+    #: responses whose epoch trails the reassembly tracker's are stale
+    #: duplicates from before a re-issue and are dropped at the core NI.
+    retry_epoch: int = 0
 
     def __post_init__(self) -> None:
         if self.beats <= 0:

@@ -4,6 +4,7 @@ from .controlled import ControlledResult, capture_trace, run_controlled
 from .export import export_all
 from .spread import MetricSpread, measure_spread
 from .comparison import ComparisonCell, ComparisonResult, METRICS, run_comparison
+from .fault_sweep import FAULT_SWEEP_RATES, FaultSweepPoint, run_fault_sweep
 from .fig8 import FIG8_POINTS, Fig8Curve, knee_index, run_fig8
 from .runner import (
     AveragedMetrics,
@@ -33,6 +34,8 @@ __all__ = [
     "DEFAULT_CYCLES",
     "DEFAULT_SEEDS",
     "DEFAULT_WARMUP",
+    "FAULT_SWEEP_RATES",
+    "FaultSweepPoint",
     "FIG8_POINTS",
     "Fig8Curve",
     "METRICS",
@@ -45,6 +48,7 @@ __all__ = [
     "knee_index",
     "run_averaged",
     "run_comparison",
+    "run_fault_sweep",
     "run_fig8",
     "run_once",
     "run_table1",

@@ -17,7 +17,7 @@ has left).  Three conventional policies appear in the paper's comparisons:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from .packet import Packet
 from .topology import Port
@@ -45,6 +45,18 @@ class FlowController:
     def on_withdrawn(self, packet: Packet, cycle: int) -> None:
         """``packet`` was claimed by a *different* output channel (adaptive
         routing offered it to several); drop any state held for it."""
+
+    # --- introspection (invariant checking) --------------------------- #
+
+    def tracked_packet_ids(self) -> Optional[Set[int]]:
+        """Ids of the packets this controller holds state for, or ``None``
+        for stateless policies (see
+        :class:`repro.resilience.invariants.InvariantChecker`)."""
+        return None
+
+    def token_counts(self) -> Iterable[Tuple[int, Packet]]:
+        """``(tokens, packet)`` pairs for token-carrying controllers."""
+        return ()
 
 
 class RoundRobinFlowController(FlowController):
@@ -130,3 +142,9 @@ class DualFlowController(FlowController):
             self.memory.on_withdrawn(packet, cycle)
         else:
             self.normal.on_withdrawn(packet, cycle)
+
+    def tracked_packet_ids(self) -> Optional[Set[int]]:
+        return self.memory.tracked_packet_ids()
+
+    def token_counts(self) -> Iterable[Tuple[int, Packet]]:
+        return self.memory.token_counts()

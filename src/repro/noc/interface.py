@@ -16,9 +16,11 @@ back into the mesh once their final data beat has left the SDRAM bus.
 from __future__ import annotations
 
 import heapq
+from dataclasses import replace
 from itertools import count
 from typing import Dict, Iterator, List, Optional, Protocol, Tuple
 
+from ..dram.ecc import EccOutcome
 from ..dram.request import MemoryRequest
 from ..obs.events import EventType
 from ..sim.stats import StatsCollector
@@ -46,13 +48,25 @@ class Splitter(Protocol):
 
 
 class _Reassembly:
-    """Tracks outstanding parts of one (possibly split) request."""
+    """Tracks outstanding parts of one (possibly split) request.
 
-    __slots__ = ("original", "remaining")
+    ``parts`` keeps the split requests so the watchdog can re-issue them;
+    ``epoch`` is the current re-issue generation (responses carrying an
+    older ``retry_epoch`` are stale duplicates); ``last_activity`` is the
+    cycle of the last accepted part response (or the issue/re-issue),
+    which the watchdog measures timeouts against.
+    """
 
-    def __init__(self, original: MemoryRequest, parts: int) -> None:
+    __slots__ = ("original", "remaining", "parts", "epoch", "last_activity")
+
+    def __init__(
+        self, original: MemoryRequest, parts: List[MemoryRequest], cycle: int
+    ) -> None:
         self.original = original
-        self.remaining = parts
+        self.remaining = len(parts)
+        self.parts = parts
+        self.epoch = 0
+        self.last_activity = cycle
 
 
 class CoreInterface:
@@ -70,6 +84,7 @@ class CoreInterface:
         request_ids: Iterator[int],
         splitter: Optional[Splitter] = None,
         tracer=None,
+        resilience=None,
     ) -> None:
         self.node = node
         self.memory_node = memory_node
@@ -81,11 +96,19 @@ class CoreInterface:
         self.request_ids = request_ids
         self.splitter = splitter
         self.tracer = tracer
+        #: :class:`repro.resilience.protection.ResilienceController` when
+        #: fault protection is enabled; ``None`` keeps every check off the
+        #: hot path.
+        self.resilience = resilience
         self._trace_label = f"core{generator.master}"
         self._pending: List[Packet] = []
         self._reassembly: Dict[int, _Reassembly] = {}
         self.injected_packets = 0
         self.completed_requests = 0
+        self.failed_requests = 0
+        #: When set, stop pulling new requests from the generator — the
+        #: drain phase of a run (outstanding work still completes).
+        self.draining = False
 
     def tick(self, cycle: int) -> None:
         self._receive(cycle)
@@ -95,16 +118,32 @@ class CoreInterface:
     # ------------------------------------------------------------------ #
 
     def _receive(self, cycle: int) -> None:
+        resilience = self.resilience
         while True:
             packet = self.sink.pop_complete()
             if packet is None:
                 break
             request = packet.request
             assert request is not None and packet.is_response
+            if resilience is not None and packet.corrupted:
+                # CRC failure: discard; the controller NACKs the memory NI
+                # into retransmitting after backoff.
+                resilience.on_corrupt_response(cycle, packet)
+                continue
             parent = request.parent_id if request.parent_id is not None else request.request_id
             tracker = self._reassembly.get(parent)
             if tracker is None:
+                if resilience is not None:
+                    # Straggler of a failed or re-issued request.
+                    resilience.note_stale_response(request)
+                    continue
                 raise RuntimeError(f"response for unknown request {parent}")
+            if resilience is not None:
+                if request.retry_epoch != tracker.epoch:
+                    resilience.note_stale_response(request)
+                    continue
+                resilience.on_response_delivered(request)
+                tracker.last_activity = cycle
             tracker.remaining -= 1
             if tracker.remaining == 0:
                 original = tracker.original
@@ -129,13 +168,15 @@ class CoreInterface:
                     )
 
     def _generate(self, cycle: int) -> None:
+        if self.draining:
+            return
         for request in self.generator.generate(cycle):
             request.issued_cycle = cycle
             if self.splitter is not None:
                 parts = self.splitter.split(request, self.request_ids)
             else:
                 parts = [request]
-            self._reassembly[request.request_id] = _Reassembly(request, len(parts))
+            self._reassembly[request.request_id] = _Reassembly(request, parts, cycle)
             for part in parts:
                 self._pending.append(
                     request_packet(
@@ -167,6 +208,49 @@ class CoreInterface:
                     flits=packet.size_flits,
                 )
 
+    # ------------------------------------------------------------------ #
+    # Resilience hooks (no-ops in a fault-free system)
+    # ------------------------------------------------------------------ #
+
+    def retransmit_request(self, part: MemoryRequest, cycle: int) -> None:
+        """Rebuild and re-queue the request packet for one split part
+        (CRC NACK recovery; called by the resilience controller once the
+        backoff has elapsed)."""
+        self._pending.append(
+            request_packet(
+                next(self.packet_ids), part, self.node, self.memory_node, cycle
+            )
+        )
+
+    def reissue(self, parent: int, cycle: int) -> None:
+        """Watchdog re-issue: re-inject every part of ``parent`` under a
+        new retry epoch; in-flight responses from older epochs become
+        stale duplicates."""
+        tracker = self._reassembly.get(parent)
+        if tracker is None:
+            return
+        tracker.epoch += 1
+        tracker.remaining = len(tracker.parts)
+        tracker.last_activity = cycle
+        for part in tracker.parts:
+            clone = replace(part, retry_epoch=tracker.epoch)
+            self._pending.append(
+                request_packet(
+                    next(self.packet_ids), clone, self.node, self.memory_node, cycle
+                )
+            )
+
+    def fail_request(self, parent: int, cycle: int) -> bool:
+        """Surface ``parent`` as failed: drop its reassembly state and
+        release the generator's outstanding slot, with no completion
+        recorded.  Returns whether the request was still outstanding."""
+        tracker = self._reassembly.pop(parent, None)
+        if tracker is None:
+            return False
+        self.generator.on_complete(tracker.original.request_id, cycle)
+        self.failed_requests += 1
+        return True
+
     @property
     def outstanding(self) -> int:
         return len(self._reassembly)
@@ -185,6 +269,7 @@ class MemoryInterface:
         packet_ids: Iterator[int],
         priority_responses: bool = False,
         tracer=None,
+        resilience=None,
     ) -> None:
         """With ``priority_responses`` the NI injects ready responses for
         priority requests ahead of best-effort ones (the output buffer of
@@ -199,6 +284,7 @@ class MemoryInterface:
         self.packet_ids = packet_ids
         self.priority_responses = priority_responses
         self.tracer = tracer
+        self.resilience = resilience
         self._trace_label = f"ni{node}"
         self._ready: List[Tuple[int, int, int, MemoryRequest]] = []  # heap
         self._sequence = count()
@@ -206,9 +292,17 @@ class MemoryInterface:
         self.responses_sent = 0
 
     def tick(self, cycle: int) -> None:
+        resilience = self.resilience
         self._admit(cycle)
         self.subsystem.tick(cycle)
         for finished in self.subsystem.drain_finished():
+            if resilience is not None:
+                outcome = resilience.on_dram_burst(cycle, finished.request)
+                if outcome is EccOutcome.DETECTED:
+                    # Uncorrectable read data: the controller queued a
+                    # device re-read (or failed the request) — resending
+                    # the response would resend the same bad data.
+                    continue
             ready = max(cycle + 1, finished.data_ready_cycle + 1)
             rank = (
                 0 if self.priority_responses and finished.request.is_priority
@@ -221,17 +315,31 @@ class MemoryInterface:
         self._respond(cycle)
 
     def _admit(self, cycle: int) -> None:
+        resilience = self.resilience
+        if resilience is not None and resilience.dram_retries:
+            # ECC re-reads go first: their requester has waited longest.
+            retries = resilience.dram_retries
+            while retries and self.subsystem.can_accept(retries[0]):
+                self.subsystem.enqueue(retries.pop(0), cycle)
         while True:
             head = self.sink.head()
             if head is None or head.claimed or not head.fully_received:
                 break
-            request = head.packet.request
+            packet = head.packet
+            request = packet.request
             assert request is not None
+            if resilience is not None and packet.corrupted:
+                # CRC failure on arrival: discard and NACK the sender.
+                self.sink.pop_complete()
+                resilience.on_corrupt_request(cycle, packet)
+                continue
             if not self.subsystem.can_accept(request):
                 break
             self.sink.pop_complete()
             self.subsystem.enqueue(request, cycle)
             self.admitted += 1
+            if resilience is not None:
+                resilience.on_request_admitted(request)
 
     def _respond(self, cycle: int) -> None:
         if self.priority_responses:
@@ -260,6 +368,14 @@ class MemoryInterface:
                     flits=packet.size_flits,
                     side="memory",
                 )
+
+    def resend_response(self, request: MemoryRequest, cycle: int) -> None:
+        """Retransmit the (still buffered) response for ``request`` —
+        called by the resilience controller after a CRC NACK backoff."""
+        rank = 0 if self.priority_responses and request.is_priority else 1
+        heapq.heappush(
+            self._ready, (cycle, rank, next(self._sequence), request)
+        )
 
     def _promote_ready_priority(self, cycle: int) -> None:
         """Among responses whose data is ready, inject priority ones first

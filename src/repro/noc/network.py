@@ -30,6 +30,7 @@ class MeshNetwork:
         routing_policy: RoutingPolicy = RoutingPolicy.XY,
         virtual_channels: int = 1,
         tracer=None,
+        fault_injector=None,
     ) -> None:
         """``sink_flits`` maps node -> (capacity_flits, max_packets) for
         that node's local sink — the memory node uses a shallow sink with
@@ -41,7 +42,8 @@ class MeshNetwork:
                    local_buffer_flits=local_buffer_flits,
                    routing_policy=routing_policy,
                    virtual_channels=virtual_channels,
-                   tracer=tracer)
+                   tracer=tracer,
+                   fault_injector=fault_injector)
             for node in mesh.nodes()
         ]
         self.local_sinks: Dict[int, InputBuffer] = {}

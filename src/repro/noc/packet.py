@@ -48,6 +48,12 @@ class Packet:
     size_flits: int
     created_cycle: int
     request: Optional[MemoryRequest] = None
+    #: Set by the fault injector: the packet's CRC will fail at the
+    #: endpoint NI, which discards it and triggers retransmission (see
+    #: :mod:`repro.resilience`).  ``fault_bits`` counts the individual
+    #: faults that hit this packet instance, for the fault ledger.
+    corrupted: bool = False
+    fault_bits: int = 0
 
     def __post_init__(self) -> None:
         if self.size_flits <= 0:

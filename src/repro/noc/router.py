@@ -100,6 +100,7 @@ class Router:
         routing_policy: RoutingPolicy = RoutingPolicy.XY,
         virtual_channels: int = 1,
         tracer=None,
+        fault_injector=None,
     ) -> None:
         """``buffer_flits`` sizes the inter-router input buffers;
         ``local_buffer_flits`` (default: same) sizes the LOCAL injection
@@ -113,6 +114,7 @@ class Router:
         self.mesh = mesh
         self.routing_policy = routing_policy
         self.tracer = tracer
+        self.fault_injector = fault_injector
         self._trace_label = f"router{node}"
         self.ports = mesh.ports(node)
         if virtual_channels < 1:
@@ -256,6 +258,11 @@ class Router:
             transfer.dst_buffer.commit_flit(transfer.dst_entry)
             transfer.entry.sent += 1
             output.flits_sent += 1
+            injector = self.fault_injector
+            if injector is not None:
+                injector.on_link_flit(
+                    cycle, self.node, output.port, transfer.entry.packet
+                )
             if transfer.entry.fully_sent:
                 packet = transfer.src_buffer.retire_head()
                 assert packet is transfer.entry.packet

@@ -16,7 +16,12 @@ Entry points: ``build_system(config, tracer=MemoryTracer())`` then the
 exporters, or the CLI's ``repro trace`` / ``repro profile``.
 """
 
-from .events import LIFECYCLE_EVENT_TYPES, EventType, TraceEvent
+from .events import (
+    LIFECYCLE_EVENT_TYPES,
+    RESILIENCE_EVENT_TYPES,
+    EventType,
+    TraceEvent,
+)
 from .exporters import (
     RequestBreakdown,
     chrome_trace,
@@ -41,6 +46,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "RESILIENCE_EVENT_TYPES",
     "RequestBreakdown",
     "SimulatorProfiler",
     "TraceEvent",

@@ -19,6 +19,12 @@ type           emitted by                                             keyed
 ``DATA_BEAT``  the SDRAM device scheduling a burst's data interval    req
 ``COMPLETE``   the master NI reassembling the last response part      req
 =============  ====================================================== =====
+
+The resilience subsystem (:mod:`repro.resilience`) adds four more types
+outside the happy-path lifecycle: ``FAULT`` (an injected fault), ``RETRY``
+(a CRC NACK retransmission, DRAM re-read, or watchdog re-issue),
+``CORRECTED`` (the SEC-DED ECC model fixed a single-bit error), and
+``FAILED`` (a request surfaced as failed after its retry caps).
 """
 
 from __future__ import annotations
@@ -37,10 +43,32 @@ class EventType(enum.Enum):
     DRAM_CMD = "DRAM_CMD"
     DATA_BEAT = "DATA_BEAT"
     COMPLETE = "COMPLETE"
+    # Resilience events (fault injection / recovery; see repro.resilience).
+    FAULT = "FAULT"
+    RETRY = "RETRY"
+    CORRECTED = "CORRECTED"
+    FAILED = "FAILED"
 
 
-#: All lifecycle event types, in pipeline order.
-LIFECYCLE_EVENT_TYPES = tuple(EventType)
+#: The happy-path lifecycle event types, in pipeline order.  A fault-free
+#: traced run emits exactly these.
+LIFECYCLE_EVENT_TYPES = (
+    EventType.INJECT,
+    EventType.SAGM_SPLIT,
+    EventType.HOP,
+    EventType.ARB_GRANT,
+    EventType.DRAM_CMD,
+    EventType.DATA_BEAT,
+    EventType.COMPLETE,
+)
+
+#: The fault/recovery event types emitted only by the resilience stack.
+RESILIENCE_EVENT_TYPES = (
+    EventType.FAULT,
+    EventType.RETRY,
+    EventType.CORRECTED,
+    EventType.FAILED,
+)
 
 
 class TraceEvent:

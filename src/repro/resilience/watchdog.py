@@ -1,0 +1,68 @@
+"""Per-request watchdog: re-issue timed-out requests, then fail them.
+
+The CRC/NACK and ECC re-read paths recover from every fault they can
+*see*.  The watchdog is the backstop for everything they cannot: it
+scans each core NI's outstanding (reassembly) trackers and, when a
+request has made no progress — no part response accepted — for
+``watchdog_timeout`` cycles, re-issues the whole request: the tracker's
+retry epoch is bumped and every part packet is rebuilt and re-injected.
+Responses still in flight from the previous issue carry the old epoch
+and are dropped as stale at the core NI.  After
+``watchdog_retry_limit`` re-issues the request is surfaced as *failed*
+through the :class:`~repro.resilience.protection.ResilienceController`
+instead of hanging the simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .faults import FaultConfig
+from .protection import ResilienceController
+
+#: Tracker-scan stride in cycles: timeouts are detected within one
+#: interval of expiring, a rounding the timeout knob dwarfs.
+CHECK_INTERVAL = 64
+
+
+class RequestWatchdog:
+    """Simulator component; must tick *after* the core NIs."""
+
+    def __init__(
+        self,
+        controller: ResilienceController,
+        core_interfaces: List[object],
+        config: FaultConfig,
+    ) -> None:
+        self.controller = controller
+        self.core_interfaces = core_interfaces
+        self.config = config
+        self._reissues: Dict[int, int] = {}  # parent id -> re-issue count
+
+    def tick(self, cycle: int) -> None:
+        if cycle % CHECK_INTERVAL != 0:
+            return
+        timeout = self.config.watchdog_timeout
+        for interface in self.core_interfaces:
+            # Snapshot: re-issue/failure mutates the tracker dict.
+            expired = [
+                parent
+                for parent, tracker in interface._reassembly.items()
+                if cycle - tracker.last_activity > timeout
+            ]
+            for parent in expired:
+                attempts = self._reissues.get(parent, 0)
+                if attempts >= self.config.watchdog_retry_limit:
+                    self.controller.fail_request(
+                        cycle,
+                        parent,
+                        interface.generator.master,
+                        reason="watchdog",
+                    )
+                    self._reissues.pop(parent, None)
+                else:
+                    self._reissues[parent] = attempts + 1
+                    interface.reissue(parent, cycle)
+                    self.controller.on_watchdog_reissue(
+                        cycle, parent, interface.generator.master
+                    )

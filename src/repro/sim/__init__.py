@@ -9,13 +9,26 @@ from .analysis import (
     tail_latencies,
 )
 
-from .config import DdrGeneration, NocDesign, PAPER_CLOCK_POINTS, SystemConfig, paper_configs
+from .config import (
+    ConfigError,
+    DdrGeneration,
+    NocDesign,
+    PAPER_CLOCK_POINTS,
+    SystemConfig,
+    paper_configs,
+)
 from .engine import Clocked, Simulator
 from .records import RunResult, TableRow, ratio_row
+from .rng import core_rng, derive_rng, derive_seed, placement_rng
 from .stats import LatencySeries, RunMetrics, StatsCollector
 
 __all__ = [
     "Clocked",
+    "ConfigError",
+    "core_rng",
+    "derive_rng",
+    "derive_seed",
+    "placement_rng",
     "MasterReport",
     "TailLatency",
     "bandwidth_share",

@@ -14,6 +14,18 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 
+class ConfigError(ValueError):
+    """An invalid configuration value, caught at construction time.
+
+    ``field`` names the offending configuration field so failures surface
+    at the call site that built the config, not deep inside a run.
+    """
+
+    def __init__(self, field: str, message: str) -> None:
+        super().__init__(f"{field}: {message}")
+        self.field = field
+
+
 class NocDesign(enum.Enum):
     """The NoC designs compared in the paper's evaluation (Section V)."""
 
@@ -90,28 +102,90 @@ class SystemConfig:
     #: wormhole = 1 VC).  With 2, the second lane is reserved for priority
     #: packets, removing same-FIFO head-of-line blocking.
     virtual_channels: int = 1
+    #: Fault injection and protection knobs (:class:`repro.resilience.faults
+    #: .FaultConfig`).  ``None`` — the default — builds no resilience
+    #: machinery at all: results are bit-identical to a pre-resilience
+    #: system and the hot path pays nothing.
+    faults: Optional[object] = None
+    #: Attach the :class:`repro.resilience.invariants.InvariantChecker`
+    #: simulator hook (token/credit conservation, packet-age bound).
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
+        if not isinstance(self.design, NocDesign):
+            raise ConfigError(
+                "design",
+                f"unknown NoC design {self.design!r}; "
+                f"choose a NocDesign ({[d.value for d in NocDesign]})",
+            )
+        if not isinstance(self.ddr, DdrGeneration):
+            raise ConfigError(
+                "ddr",
+                f"unknown DDR generation {self.ddr!r}; "
+                f"choose a DdrGeneration ({[g.value for g in DdrGeneration]})",
+            )
         if not 1 <= self.pct <= 6:
-            raise ValueError(f"PCT must be in 1..6, got {self.pct}")
+            raise ConfigError("pct", f"PCT must be in 1..6, got {self.pct}")
         if self.cycles <= 0:
-            raise ValueError("cycles must be positive")
+            raise ConfigError(
+                "cycles", f"cycle count must be positive, got {self.cycles}"
+            )
         if not 0 <= self.warmup < self.cycles:
-            raise ValueError("warmup must be in [0, cycles)")
+            raise ConfigError(
+                "warmup",
+                f"warmup must be in [0, cycles), got {self.warmup} "
+                f"with cycles={self.cycles}",
+            )
         if self.clock_mhz <= 0:
-            raise ValueError("clock_mhz must be positive")
-        if self.link_buffer_flits <= 0 or self.input_buffer_flits <= 0:
-            raise ValueError("buffer sizes must be positive")
+            raise ConfigError(
+                "clock_mhz", f"clock must be positive, got {self.clock_mhz}"
+            )
+        if self.input_buffer_flits <= 0:
+            raise ConfigError(
+                "input_buffer_flits",
+                f"buffer depth must be positive, got {self.input_buffer_flits}",
+            )
+        if self.link_buffer_flits <= 0:
+            raise ConfigError(
+                "link_buffer_flits",
+                f"buffer depth must be positive, got {self.link_buffer_flits}",
+            )
+        if self.max_outstanding <= 0:
+            raise ConfigError(
+                "max_outstanding",
+                f"outstanding cap must be positive, got {self.max_outstanding}",
+            )
         if not 1 <= self.virtual_channels <= 4:
-            raise ValueError("virtual_channels must be within 1..4")
+            raise ConfigError(
+                "virtual_channels",
+                f"virtual channels must be within 1..4, "
+                f"got {self.virtual_channels}",
+            )
+        if self.num_gss_routers is not None and self.num_gss_routers < 0:
+            raise ConfigError(
+                "num_gss_routers",
+                f"router count must be non-negative, got {self.num_gss_routers}",
+            )
+        if self.faults is not None:
+            # Imported lazily: repro.resilience.faults imports this module
+            # for ConfigError.
+            from ..resilience.faults import FaultConfig
+
+            if not isinstance(self.faults, FaultConfig):
+                raise ConfigError(
+                    "faults",
+                    f"expected a repro.resilience.FaultConfig or None, "
+                    f"got {self.faults!r}",
+                )
         # Validate against the application registry (imported lazily so that
         # user-registered models in repro.workloads.apps.APP_MODELS count).
         from ..workloads.apps import APP_MODELS
 
         if self.app not in APP_MODELS:
-            raise ValueError(
+            raise ConfigError(
+                "app",
                 f"unknown application model {self.app!r}; "
-                f"registered: {sorted(APP_MODELS)}"
+                f"registered: {sorted(APP_MODELS)}",
             )
 
     def with_(self, **changes) -> "SystemConfig":

@@ -17,10 +17,10 @@ for user-defined SoCs with core-to-core traffic.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..sim.rng import placement_rng
 from .apps import AppModel
 from .mapping import MEMORY_NODE, Placement, place
 
@@ -78,7 +78,7 @@ def anneal(
     if len(cores) < 2 or iterations == 0:
         return greedy
 
-    rng = random.Random(seed)
+    rng = placement_rng(seed)
     current_cost = problem.cost(greedy)
     best_assignment = dict(assignment)
     best_cost = current_cost

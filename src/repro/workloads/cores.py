@@ -20,12 +20,12 @@ reproduces the *characteristics* the paper's mechanisms key on:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..dram.address_map import AddressMap
 from ..dram.request import MemoryRequest, ServiceClass
+from ..sim.rng import core_rng
 
 
 @dataclass
@@ -83,7 +83,7 @@ class SyntheticCore:
         self.address_map = address_map
         self.request_ids = request_ids
         self.priority_demand = priority_demand
-        self.rng = random.Random((seed << 8) ^ master)
+        self.rng = core_rng(seed, master)
         self._outstanding = 0
         self._next_issue_cycle = 0
         self._current_stream: Optional[Stream] = None

@@ -1,0 +1,87 @@
+"""(72, 64) SEC-DED Hamming code: bit-exact correction and detection."""
+
+import random
+
+import pytest
+
+from repro.dram.ecc import (
+    CHECK_BITS,
+    CODEWORD_BITS,
+    DATA_BITS,
+    EccOutcome,
+    SecDedEcc,
+    decode,
+    encode,
+)
+
+WORDS = [
+    0,
+    1,
+    (1 << DATA_BITS) - 1,
+    0xDEADBEEF_CAFEF00D,
+    *(random.Random(2010).getrandbits(DATA_BITS) for _ in range(4)),
+]
+
+
+class TestCodeShape:
+    def test_geometry(self):
+        assert DATA_BITS == 64
+        assert CHECK_BITS == 7
+        assert CODEWORD_BITS == 72
+
+    def test_encode_range_checked(self):
+        with pytest.raises(ValueError):
+            encode(1 << DATA_BITS)
+        with pytest.raises(ValueError):
+            encode(-1)
+
+    def test_decode_range_checked(self):
+        with pytest.raises(ValueError):
+            decode(1 << CODEWORD_BITS)
+
+    def test_codeword_parity_is_even(self):
+        for word in WORDS:
+            assert bin(encode(word)).count("1") % 2 == 0
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("word", WORDS)
+    def test_clean_codeword_decodes_clean(self, word):
+        decoded, outcome = decode(encode(word))
+        assert decoded == word
+        assert outcome is EccOutcome.CLEAN
+
+
+class TestSingleBitCorrection:
+    @pytest.mark.parametrize("word", WORDS[:3])
+    def test_every_position_corrects(self, word):
+        codeword = encode(word)
+        for position in range(CODEWORD_BITS):
+            decoded, outcome = decode(codeword ^ (1 << position))
+            assert outcome is EccOutcome.CORRECTED, f"position {position}"
+            assert decoded == word, f"position {position}"
+
+
+class TestDoubleBitDetection:
+    def test_all_pairs_detected_never_miscorrected(self):
+        word = 0xDEADBEEF_CAFEF00D
+        codeword = encode(word)
+        for first in range(CODEWORD_BITS):
+            for second in range(first + 1, CODEWORD_BITS):
+                flipped = codeword ^ (1 << first) ^ (1 << second)
+                _, outcome = decode(flipped)
+                assert outcome is EccOutcome.DETECTED, (first, second)
+
+
+class TestAccountant:
+    def test_classification_and_counters(self):
+        ecc = SecDedEcc()
+        assert ecc.classify(0) is EccOutcome.CLEAN
+        assert ecc.classify(1) is EccOutcome.CORRECTED
+        assert ecc.classify(2) is EccOutcome.DETECTED
+        assert ecc.classify(3) is EccOutcome.DETECTED
+        assert (ecc.clean_bursts, ecc.corrected, ecc.detected) == (1, 1, 2)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            SecDedEcc().classify(-1)

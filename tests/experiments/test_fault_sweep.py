@@ -1,0 +1,64 @@
+"""Fault-rate sweep driver: shape, control row, ledger, rendering."""
+
+import pytest
+
+from repro.experiments.fault_sweep import (
+    FAULT_SWEEP_RATES,
+    FaultSweepPoint,
+    render,
+    run_fault_sweep,
+)
+
+TINY = dict(cycles=1_500, warmup=300)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_fault_sweep(rates=(0.0, 1e-3), **TINY)
+
+
+class TestSweep:
+    def test_default_rates_span_decades(self):
+        assert FAULT_SWEEP_RATES[0] == 0.0
+        assert list(FAULT_SWEEP_RATES) == sorted(FAULT_SWEEP_RATES)
+
+    def test_one_point_per_rate(self, sweep):
+        assert [p.rate for p in sweep] == [0.0, 1e-3]
+
+    def test_control_row_injects_nothing(self, sweep):
+        control = sweep[0]
+        assert control.injected == 0
+        assert control.accounted
+        assert control.quiesced
+
+    def test_fault_rows_quiesce_fully_accounted(self, sweep):
+        for point in sweep[1:]:
+            assert point.quiesced
+            assert point.accounted
+            assert point.injected > 0
+
+    def test_all_points_serve_traffic(self, sweep):
+        for point in sweep:
+            assert point.completed > 0
+            assert 0.0 < point.utilization <= 1.0
+
+    def test_render_has_header_and_every_row(self, sweep):
+        text = render(sweep)
+        assert "Fault-rate sweep" in text
+        assert "unres" in text
+        assert len(text.splitlines()) == 2 + len(sweep)
+        assert "[HUNG]" not in text
+
+
+class TestAccountedProperty:
+    def test_accounted_requires_balanced_ledger(self):
+        kwargs = dict(
+            rate=1e-3, utilization=0.5, latency_all=100.0, completed=10,
+            corrected=1, recovered=2, failed_faults=1, unresolved=0,
+            crc_retries=2, dram_rereads=0, watchdog_reissues=0,
+            failed_requests=1, quiesced=True,
+        )
+        assert FaultSweepPoint(injected=4, **kwargs).accounted
+        assert not FaultSweepPoint(injected=5, **kwargs).accounted
+        unresolved = dict(kwargs, unresolved=1)
+        assert not FaultSweepPoint(injected=4, **unresolved).accounted

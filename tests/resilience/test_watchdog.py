@@ -1,0 +1,104 @@
+"""RequestWatchdog: timeout detection, re-issue, stale epochs, failure."""
+
+from repro.core.system import build_system
+from repro.resilience.faults import FaultConfig, FaultInjector
+from repro.resilience.protection import ResilienceController
+from repro.resilience.watchdog import CHECK_INTERVAL, RequestWatchdog
+from repro.sim.config import SystemConfig
+
+
+class _Tracker:
+    def __init__(self, last_activity):
+        self.last_activity = last_activity
+
+
+class _FakeGenerator:
+    master = 3
+
+
+class _FakeInterface:
+    def __init__(self):
+        self._reassembly = {}
+        self.generator = _FakeGenerator()
+        self.reissued = []
+        self.failed = []
+
+    def reissue(self, parent, cycle):
+        self.reissued.append((parent, cycle))
+        self._reassembly[parent].last_activity = cycle
+
+    def fail_request(self, parent, cycle):
+        self._reassembly.pop(parent, None)
+        self.failed.append(parent)
+        return True
+
+
+def _watchdog(timeout=100, retries=1):
+    config = FaultConfig(watchdog_timeout=timeout, watchdog_retry_limit=retries)
+    controller = ResilienceController(FaultInjector(config, seed=0), config)
+    interface = _FakeInterface()
+    controller.register_core(3, interface)
+    return RequestWatchdog(controller, [interface], config), interface, controller
+
+
+class TestWatchdogUnit:
+    def test_scans_only_on_interval(self):
+        watchdog, interface, _ = _watchdog(timeout=10)
+        interface._reassembly[1] = _Tracker(last_activity=0)
+        watchdog.tick(CHECK_INTERVAL + 1)
+        assert interface.reissued == []
+        watchdog.tick(CHECK_INTERVAL)
+        assert interface.reissued == [(1, CHECK_INTERVAL)]
+
+    def test_healthy_request_untouched(self):
+        watchdog, interface, _ = _watchdog(timeout=1_000)
+        interface._reassembly[1] = _Tracker(last_activity=0)
+        watchdog.tick(CHECK_INTERVAL * 4)
+        assert interface.reissued == []
+
+    def test_timeout_reissues_then_fails(self):
+        watchdog, interface, controller = _watchdog(timeout=10, retries=1)
+        interface._reassembly[1] = _Tracker(last_activity=0)
+        watchdog.tick(CHECK_INTERVAL)          # first expiry: re-issue
+        assert interface.reissued == [(1, CHECK_INTERVAL)]
+        assert controller.watchdog_reissues == 1
+        watchdog.tick(CHECK_INTERVAL * 3)      # expired again: budget spent
+        assert interface.failed == [1]
+        assert controller.failed_requests == 1
+
+    def test_zero_retry_limit_fails_immediately(self):
+        watchdog, interface, controller = _watchdog(timeout=10, retries=0)
+        interface._reassembly[1] = _Tracker(last_activity=0)
+        watchdog.tick(CHECK_INTERVAL)
+        assert interface.reissued == []
+        assert interface.failed == [1]
+
+    def test_progress_resets_the_clock(self):
+        watchdog, interface, _ = _watchdog(timeout=100, retries=2)
+        tracker = _Tracker(last_activity=0)
+        interface._reassembly[1] = tracker
+        tracker.last_activity = CHECK_INTERVAL * 2  # a part arrived
+        watchdog.tick(CHECK_INTERVAL * 3)
+        assert interface.reissued == []
+
+
+class TestReissueEndToEnd:
+    def test_reissued_request_completes_and_system_quiesces(self):
+        # Force a mid-run re-issue of a live request: the clone (epoch 1)
+        # must complete, any stale epoch-0 responses must be dropped, and
+        # the system must still drain to quiescence.
+        config = SystemConfig(
+            cycles=2_000, warmup=400, seed=2010, faults=FaultConfig(),
+        )
+        system = build_system(config)
+        interface = system.core_interfaces[0]
+        reissued_parent = None
+        for _ in range(2_000):
+            cycle = system.simulator.step()
+            if reissued_parent is None and interface._reassembly:
+                reissued_parent = next(iter(interface._reassembly))
+                interface.reissue(reissued_parent, cycle)
+        assert reissued_parent is not None
+        assert system.drain()
+        assert interface._reassembly == {}
+        assert system.resilience.unresolved == 0

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.sim.config import (
+    ConfigError,
     DdrGeneration,
     NocDesign,
     PAPER_CLOCK_POINTS,
@@ -80,6 +81,40 @@ class TestSystemConfig:
     def test_label_marks_sti(self):
         config = SystemConfig(design=NocDesign.GSS, sti=True)
         assert config.label.endswith("+sti")
+
+
+class TestConfigError:
+    def test_is_value_error_naming_the_field(self):
+        with pytest.raises(ConfigError) as excinfo:
+            SystemConfig(pct=0)
+        assert excinfo.value.field == "pct"
+        assert isinstance(excinfo.value, ValueError)
+        assert str(excinfo.value).startswith("pct:")
+
+    @pytest.mark.parametrize("kwargs,field", [
+        (dict(clock_mhz=0), "clock_mhz"),
+        (dict(cycles=100, warmup=100), "warmup"),
+        (dict(app="nonexistent"), "app"),
+        (dict(virtual_channels=0), "virtual_channels"),
+        (dict(link_buffer_flits=0), "link_buffer_flits"),
+    ])
+    def test_every_rejection_names_its_field(self, kwargs, field):
+        with pytest.raises(ConfigError) as excinfo:
+            SystemConfig(**kwargs)
+        assert excinfo.value.field == field
+
+    def test_faults_field_must_be_fault_config(self):
+        with pytest.raises(ConfigError) as excinfo:
+            SystemConfig(faults="high")
+        assert excinfo.value.field == "faults"
+
+    def test_fault_config_accepted(self):
+        from repro.resilience.faults import FaultConfig
+
+        config = SystemConfig(faults=FaultConfig.uniform(1e-3))
+        assert config.faults.link_corrupt_rate == 1e-3
+        assert SystemConfig().faults is None
+        assert SystemConfig().check_invariants is False
 
 
 class TestPaperConfigs:

@@ -1,0 +1,67 @@
+"""Seed derivation: deterministic, scope-independent, frozen legacy streams."""
+
+import random
+
+from repro.sim.rng import core_rng, derive_rng, derive_seed, placement_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(2010, "fault", "link-drop") == derive_seed(
+            2010, "fault", "link-drop"
+        )
+
+    def test_scope_sensitive(self):
+        seeds = {
+            derive_seed(2010),
+            derive_seed(2010, "fault"),
+            derive_seed(2010, "fault", "link-drop"),
+            derive_seed(2010, "fault", "link-corrupt"),
+        }
+        assert len(seeds) == 4
+
+    def test_root_sensitive(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_adjacent_roots_do_not_collide_across_scopes(self):
+        # The cryptographic mix must not alias e.g. (1, "10") with (11, "0").
+        assert derive_seed(1, 10) != derive_seed(11, 0)
+
+    def test_fits_64_bits(self):
+        assert 0 <= derive_seed(2**63, "scope") < 2**64
+
+
+class TestDeriveRng:
+    def test_no_scope_matches_plain_random(self):
+        ours = derive_rng(42)
+        reference = random.Random(42)
+        assert [ours.random() for _ in range(5)] == [
+            reference.random() for _ in range(5)
+        ]
+
+    def test_scoped_streams_are_independent(self):
+        a = derive_rng(42, "fault", "a")
+        b = derive_rng(42, "fault", "b")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_scoped_stream_reproducible(self):
+        a = derive_rng(42, "fault", "a")
+        b = derive_rng(42, "fault", "a")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+class TestFrozenLegacyStreams:
+    def test_core_rng_formula(self):
+        # Golden waveforms depend on this exact derivation; never change it.
+        ours = core_rng(2010, master=5)
+        reference = random.Random((2010 << 8) ^ 5)
+        assert [ours.random() for _ in range(5)] == [
+            reference.random() for _ in range(5)
+        ]
+
+    def test_placement_rng_formula(self):
+        ours = placement_rng(2010)
+        reference = random.Random(2010)
+        assert [ours.random() for _ in range(5)] == [
+            reference.random() for _ in range(5)
+        ]

@@ -79,6 +79,39 @@ class TestCommands:
         assert "#GSS" in capsys.readouterr().out
 
 
+class TestFaultCommands:
+    def test_run_without_faults_prints_no_ledger(self, capsys):
+        assert main(["run", "--cycles", "1200", "--warmup", "200"]) == 0
+        assert "faults" not in capsys.readouterr().out
+
+    def test_run_with_fault_rate_prints_ledger(self, capsys):
+        code = main(["run", "--cycles", "2000", "--warmup", "400",
+                     "--fault-rate", "1e-3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults" in out
+        assert "unresolved=0" in out
+        assert "recovery" in out
+
+    def test_run_with_invariant_checking(self, capsys):
+        code = main(["run", "--cycles", "1200", "--warmup", "200",
+                     "--check-invariants"])
+        assert code == 0
+
+    def test_bad_fault_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            main(["run", "--cycles", "1200", "--warmup", "200",
+                  "--fault-rate", "2.0"])
+
+    def test_faults_sweep_renders_and_exits_clean(self, capsys):
+        code = main(["faults", "--cycles", "1500", "--warmup", "300",
+                     "--rates", "0", "1e-3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fault-rate sweep" in out
+        assert "unres" in out
+
+
 class TestExhibitCommands:
     def test_table1_small(self, capsys):
         code = main(["table1", "--cycles", "700", "--warmup", "100",

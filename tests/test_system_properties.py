@@ -8,6 +8,7 @@ traffic, keep its metrics physically sensible, and remain deterministic.
 from hypothesis import given, settings, strategies as st
 
 from repro.core.system import build_system
+from repro.resilience.faults import FaultConfig
 from repro.sim.config import DdrGeneration, NocDesign, SystemConfig
 
 CLOCKS = {
@@ -86,3 +87,37 @@ def test_no_requests_stranded_after_drain(raw):
     issued = sum(core.issued for core in system.cores)
     completed = sum(core.completed for core in system.cores)
     assert issued == completed
+
+
+@settings(max_examples=10, deadline=None)
+@given(raw=config_strategy)
+def test_invariant_checker_never_fires_fault_free(raw):
+    # Credit/token conservation and the packet-age bound hold on every
+    # healthy configuration: the live checker must audit without raising,
+    # both on its own interval and in a final end-of-run sweep.
+    config = build_config(raw).with_(check_invariants=True)
+    system = build_system(config)
+    system.run()  # InvariantViolation here is the failure
+    checker = system.invariant_checker
+    assert checker.checks_run > 0
+    checker.check(config.cycles)  # final full audit
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    raw=config_strategy,
+    rate=st.sampled_from([1e-4, 1e-3, 5e-3]),
+)
+def test_fault_runs_account_for_every_injected_fault(raw, rate):
+    # Under any configuration and fault rate, the system must drain to
+    # quiescence with the ledger balanced: every injected fault ends up
+    # corrected, recovered, or charged to a surfaced request failure.
+    config = build_config(raw).with_(faults=FaultConfig.uniform(rate))
+    system = build_system(config)
+    system.run()
+    assert system.drain(), "fault run failed to reach quiescence"
+    controller = system.resilience
+    assert controller.unresolved == 0
+    assert controller.injected_total == (
+        controller.corrected + controller.recovered + controller.failed_faults
+    )
