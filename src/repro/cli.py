@@ -140,6 +140,25 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--warmup", type=int, default=None)
     export.add_argument("--seeds", type=int, nargs="+", default=None)
 
+    bench_cmd = sub.add_parser(
+        "bench", help="run the standing simulator benchmarks"
+    )
+    bench_cmd.add_argument("--cycles", type=int, default=None)
+    bench_cmd.add_argument("--reps", type=int, default=None)
+    bench_cmd.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the measured point as a trajectory JSON file",
+    )
+    bench_cmd.add_argument(
+        "--check", metavar="TRAJECTORY", default=None,
+        help="compare against a recorded BENCH_*.json; exit 1 if any "
+        "benchmark regressed more than --max-regression",
+    )
+    bench_cmd.add_argument(
+        "--max-regression", type=float, default=0.2,
+        help="allowed calibration-scaled cycles/sec drop (default 0.2)",
+    )
+
     return parser
 
 
@@ -330,6 +349,32 @@ def _cmd_profile(args) -> None:
     print(profiler.report(windows=args.windows))
 
 
+def _cmd_bench(args) -> int:
+    from .experiments import bench
+
+    kwargs = {}
+    if args.cycles is not None:
+        kwargs["cycles"] = args.cycles
+    if args.reps is not None:
+        kwargs["reps"] = args.reps
+    point = bench.run_benchmarks(**kwargs)
+    print(bench.render(point))
+    if args.json:
+        bench.write_trajectory(args.json, point)
+        print(f"wrote {args.json}")
+    if args.check:
+        recorded = bench.load_trajectory(args.check)["current"]
+        failures = bench.check_regression(
+            recorded, point, max_regression=args.max_regression
+        )
+        for failure in failures:
+            print(f"REGRESSION {failure}")
+        if failures:
+            return 1
+        print(f"trajectory holds (vs {args.check})")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -362,6 +407,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         kwargs.setdefault("seeds", (2010,))
         export_all(args.output, **kwargs)
         print(f"wrote {args.output}")
+    elif args.command == "bench":
+        return _cmd_bench(args)
     elif args.command == "all":
         kwargs = _seeds(args)
         print(table1.render(table1.run_table1(**kwargs)))

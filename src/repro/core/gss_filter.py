@@ -23,8 +23,9 @@ IV-C); otherwise a passing best-effort packet with the most tokens.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..dram.request import MemoryRequest
 from ..noc.flow_control import Candidate
@@ -56,7 +57,7 @@ class SchedulerState:
     bank_last_row: Dict[int, int] = field(default_factory=dict)
     #: Same-bank reuse window, in scheduled packets.
     sti_distance: int = 0
-    recent: List = field(default_factory=list)
+    recent: Deque = field(default_factory=deque)
 
     def bank_conflict(self, request: MemoryRequest) -> bool:
         return self.last_request is not None and request.bank_conflict_with(
@@ -91,7 +92,7 @@ class SchedulerState:
         if self.sti_distance > 0:
             self.recent.append((request.bank, request.row))
             if len(self.recent) > self.sti_distance:
-                self.recent.pop(0)
+                self.recent.popleft()
 
     def note_delivered(
         self, request: MemoryRequest, cycle: int, write_window: int, read_window: int
@@ -114,6 +115,14 @@ def tier_conditions(tokens: int, sti_enabled: bool) -> Tuple[bool, bool, bool]:
     return (True, True, sti_enabled and tokens <= 2)
 
 
+#: ``tier_conditions`` memoized per tier (it is pure); tiers above
+#: MAX_TOKENS share the unconditional-accept row.
+_TIER_TABLE = {
+    False: [tier_conditions(t, False) for t in range(MAX_TOKENS + 1)],
+    True: [tier_conditions(t, True) for t in range(MAX_TOKENS + 1)],
+}
+
+
 def passes_filter(
     state: SchedulerState,
     request: MemoryRequest,
@@ -127,12 +136,15 @@ def passes_filter(
     scheduler *encourages* (it implies no bank conflict, and back-to-back
     same-direction split packets dominate the row-hit case).
     """
-    if state.row_hit(request):
+    last = state.last_request
+    if last is not None and request.row_hit_with(last):
         return True
-    check_bc, check_dc, check_sti = tier_conditions(tokens, sti_enabled)
-    if check_bc and state.bank_conflict(request):
+    check_bc, check_dc, check_sti = _TIER_TABLE[sti_enabled][
+        tokens if tokens < MAX_TOKENS else MAX_TOKENS
+    ]
+    if check_bc and last is not None and request.bank_conflict_with(last):
         return False
-    if check_dc and state.data_contention(request):
+    if check_dc and last is not None and request.data_contention_with(last):
         return False
     if check_sti and state.sti_blocked(request, cycle):
         return False
@@ -166,14 +178,25 @@ def select(
     # extra tokens are applied transiently (per arbitration) rather than
     # written back: a forced lax-tier schedule should not permanently
     # weaken the SDRAM filters for every packet still queued.
+    if len(eligible) == 1:
+        # Every cascade stage returns a member of ``passing``, so with a
+        # single eligible candidate the only question is which bump tier
+        # first lets it through — the cascade itself is a tautology.
+        lone = eligible[0]
+        request = lone[1].request
+        tokens = table.tokens(lone[1])
+        for bump in range(MAX_TOKENS + 1):
+            if passes_filter(state, request, tokens + bump, cycle,
+                             sti_enabled):
+                return lone
+        raise AssertionError("GSS filter failed to converge")
+    tiers = [(c, table.tokens(c[1])) for c in eligible]
     for bump in range(MAX_TOKENS + 1):
         passing = [
             c
-            for c in eligible
-            if passes_filter(
-                state, c[1].request, table.tokens(c[1]) + bump, cycle,
-                sti_enabled,
-            )
+            for c, tokens in tiers
+            if passes_filter(state, c[1].request, tokens + bump, cycle,
+                             sti_enabled)
         ]
         if passing:
             return _cascade(state, table, passing, priority_aware,
@@ -199,6 +222,9 @@ def _cascade(
     stage — a preference, so a turnaround-bound packet is only delayed
     while a better-ordered alternative actually exists (Fig. 4(b)).
     """
+    if len(passing) == 1:
+        # All three stages return a member of ``passing``.
+        return passing[0]
 
     def seniority(candidate: Candidate):
         entry = table.entry(candidate[1])

@@ -102,6 +102,8 @@ class TokenTable:
     def is_excluded(self, packet: Packet, port: Port) -> bool:
         """Lines 4-6: best-effort packet blocked by a same-bank pending
         priority packet waiting in a *different* input buffer."""
+        if not self._pending_priority:
+            return False
         if packet.is_priority or packet.request is None:
             return False
         bank = packet.request.bank

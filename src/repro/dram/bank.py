@@ -24,7 +24,7 @@ class TimingViolation(RuntimeError):
     """A command was issued before its timing constraints were satisfied."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Bank:
     """One SDRAM bank."""
 

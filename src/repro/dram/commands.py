@@ -21,10 +21,13 @@ class CommandKind(enum.Enum):
 
     @property
     def is_cas(self) -> bool:
-        return self in (CommandKind.READ, CommandKind.WRITE)
+        return self in _CAS_KINDS
 
 
-@dataclass(frozen=True)
+_CAS_KINDS = frozenset((CommandKind.READ, CommandKind.WRITE))
+
+
+@dataclass(frozen=True, slots=True)
 class DramCommand:
     """One command on the (single, shared) command bus.
 

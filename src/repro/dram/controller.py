@@ -126,6 +126,8 @@ class CommandEngine:
         return not self.entries
 
     def drain_finished(self) -> List[FinishedRequest]:
+        if not self.finished:
+            return self.finished
         done, self.finished = self.finished, []
         return done
 
@@ -141,9 +143,15 @@ class CommandEngine:
                 return blocking
             if self.refresh.in_progress(cycle) or self.refresh.due(cycle):
                 return None
+        if not self.entries:
+            # Every _choose_command branch scans entries; with an empty
+            # window no command can be chosen.
+            return None
         command = self._choose_command(cycle)
         if command is not None:
-            completion = self.device.issue(cycle, command)
+            # Every chooser only returns a command can_issue just accepted
+            # at this cycle, so the vetted path skips the re-check.
+            completion = self.device.issue_vetted(cycle, command)
             tracer = self.tracer
             if tracer:
                 tracer.emit(
@@ -188,7 +196,7 @@ class CommandEngine:
             if bank.is_active:
                 command = DramCommand(kind=CommandKind.PRECHARGE, bank=bank.index)
                 if self.device.can_issue(cycle, command):
-                    self.device.issue(cycle, command)
+                    self.device.issue_vetted(cycle, command)
                     return command
         quiet = (
             all(not bank.is_active and bank.auto_precharge_at is None
@@ -219,9 +227,13 @@ class CommandEngine:
         """CAS for the oldest entry whose row is open (in-order data)."""
         if not self.entries:
             return None
+        if cycle < self.device.next_cas_ok:
+            # Device-global tCCD gate: can_issue would reject any CAS this
+            # cycle, so skip building and vetting the command.
+            return None
         entry = self.entries[0]
         request = entry.request
-        if not self.device.row_is_open(request.bank, request.row, cycle):
+        if not self.device.banks[request.bank].row_is_open(request.row, cycle):
             return None
         burst = self._burst_for(entry)
         useful = min(entry.beats_remaining, burst)
@@ -252,14 +264,19 @@ class CommandEngine:
 
     def _activate_command(self, cycle: int) -> Optional[DramCommand]:
         """ACT for the first entry whose bank is idle (bank-prep overlap)."""
+        if cycle < self.device.next_act_ok:
+            # Device-global tRRD gate: can_issue would reject any ACT this
+            # cycle, so skip the window scan.
+            return None
         prepared = set()
+        banks = self.device.banks
         for entry in self.entries:
             request = entry.request
             key = request.bank
             if key in prepared:
                 continue
             prepared.add(key)
-            if self.device.row_is_open(request.bank, request.row, cycle):
+            if banks[key].row_is_open(request.row, cycle):
                 continue
             command = DramCommand(
                 kind=CommandKind.ACTIVATE, bank=request.bank, row=request.row

@@ -116,6 +116,17 @@ class SdramDevice:
         """Apply ``command`` at ``cycle``; return the burst completion for CAS."""
         if not self.can_issue(cycle, command):
             raise TimingViolation(f"cannot issue {command} at cycle {cycle}")
+        return self._apply(cycle, command)
+
+    def issue_vetted(self, cycle: int, command: DramCommand) -> Optional[BurstCompletion]:
+        """Apply a command the caller has *just* vetted with
+        :meth:`can_issue` at the same cycle — skips the redundant second
+        legality pass :meth:`issue` would run.  The independent
+        :class:`~repro.dram.protocol.ProtocolChecker` still audits the
+        resulting command stream in the test suite."""
+        return self._apply(cycle, command)
+
+    def _apply(self, cycle: int, command: DramCommand) -> Optional[BurstCompletion]:
         if command.kind is CommandKind.NOP:
             return None
         self._last_command_cycle = cycle
@@ -201,6 +212,12 @@ class SdramDevice:
         if self.stats is not None:
             self.stats.record_idle_cycle(cycle)
 
+    def on_cycles_skipped(self, start: int, stop: int) -> None:
+        """Account for fast-forwarded cycles ``[start, stop)`` the device
+        was never ticked for (idle by definition)."""
+        if self.stats is not None:
+            self.stats.record_idle_cycles(start, stop)
+
     def row_is_open(self, bank: int, row: int, cycle: int) -> bool:
         return self.banks[bank].row_is_open(row, cycle)
 
@@ -215,3 +232,13 @@ class SdramDevice:
     @property
     def data_bus_free_at(self) -> int:
         return self._bus_free_at
+
+    @property
+    def next_cas_ok(self) -> int:
+        """Earliest cycle a CAS can pass the device-global tCCD gate."""
+        return self._next_cas_ok
+
+    @property
+    def next_act_ok(self) -> int:
+        """Earliest cycle an ACT can pass the device-global tRRD gate."""
+        return self._next_act_ok

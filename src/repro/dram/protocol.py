@@ -22,6 +22,7 @@ Checked rules:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -195,12 +196,12 @@ def audit_engine(engine, requests, max_cycles: int = 20_000):
     """Drive ``requests`` through ``engine`` while logging every command,
     then audit the log.  Returns (finished, violations)."""
     log: List[Tuple[int, DramCommand]] = []
-    pending = list(requests)
+    pending = deque(requests)
     finished = []
     cycle = 0
     while (pending or not engine.idle) and cycle < max_cycles:
         if pending and engine.has_space:
-            engine.accept(pending.pop(0), cycle)
+            engine.accept(pending.popleft(), cycle)
         command = engine.tick(cycle)
         if command is not None:
             log.append((cycle, command))

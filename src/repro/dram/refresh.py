@@ -44,6 +44,11 @@ class RefreshTimer:
     def due(self, cycle: int) -> bool:
         return self.enabled and cycle >= self._next_due
 
+    @property
+    def next_due_cycle(self) -> int:
+        """Cycle the next refresh becomes due (a simulator wake target)."""
+        return self._next_due
+
     def in_progress(self, cycle: int) -> bool:
         return cycle <= self._busy_until
 

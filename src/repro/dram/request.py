@@ -20,14 +20,16 @@ class ServiceClass(enum.Enum):
     PRIORITY = "priority"
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryRequest:
     """One SDRAM read or write request from a core.
 
     ``beats`` is the number of *useful* data beats the core wants (one beat =
     one data-bus word; DDR moves two beats per cycle).  The device may move
     more beats than that when the burst granularity is coarser — the access
-    granularity mismatch of Section III-C.
+    granularity mismatch of Section III-C.  Declared with ``slots=True``:
+    requests flow through every layer's hot path, and the flow-control
+    filters read their fields millions of times per run.
     """
 
     request_id: int
@@ -49,6 +51,9 @@ class MemoryRequest:
     #: responses whose epoch trails the reassembly tracker's are stale
     #: duplicates from before a re-issue and are dropped at the core NI.
     retry_epoch: int = 0
+    #: Cached: ``service`` never changes after construction, and the flow
+    #: filters and schedulers read this on every candidate comparison.
+    is_priority: bool = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.beats <= 0:
@@ -57,10 +62,7 @@ class MemoryRequest:
             raise ValueError("negative SDRAM coordinate")
         if self.split_index >= self.split_count:
             raise ValueError("split index out of range")
-
-    @property
-    def is_priority(self) -> bool:
-        return self.service is ServiceClass.PRIORITY
+        self.is_priority = self.service is ServiceClass.PRIORITY
 
     @property
     def is_write(self) -> bool:

@@ -87,6 +87,22 @@ class ThinMemorySubsystem:
     def idle(self) -> bool:
         return self.pending == 0
 
+    @property
+    def quiescent(self) -> bool:
+        """No queued work *and* no finished requests awaiting drain: apart
+        from device accounting, :meth:`tick` would be a no-op."""
+        return (
+            not self.queue and not self.engine.entries
+            and not self.engine.finished
+        )
+
+    @property
+    def refresh(self):
+        return self.engine.refresh
+
+    def on_cycles_skipped(self, start: int, stop: int) -> None:
+        self.device.on_cycles_skipped(start, stop)
+
 
 class ConvMemorySubsystem:
     """MemMax thread scheduler + Databahn lookahead controller (CONV).
@@ -161,6 +177,24 @@ class ConvMemorySubsystem:
     @property
     def idle(self) -> bool:
         return self.pending == 0
+
+    @property
+    def quiescent(self) -> bool:
+        """See :attr:`ThinMemorySubsystem.quiescent`; an empty MemMax
+        front-end is side-effect free to poll, so skipping the whole
+        pipeline is exact."""
+        return (
+            self.scheduler.pending == 0
+            and not self.engine.entries
+            and not self.engine.finished
+        )
+
+    @property
+    def refresh(self):
+        return self.engine.refresh
+
+    def on_cycles_skipped(self, start: int, stop: int) -> None:
+        self.device.on_cycles_skipped(start, stop)
 
 
 def build_memory_subsystem(

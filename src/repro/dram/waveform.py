@@ -113,12 +113,16 @@ class WaveformCapture:
 
 def attach(device: SdramDevice) -> WaveformCapture:
     """Instrument ``device`` so every issued command and data burst is
-    captured.  Returns the capture; detach by restoring ``device.issue``."""
-    capture = WaveformCapture()
-    original_issue = device.issue
+    captured.  Returns the capture; detach by restoring ``device._apply``.
 
-    def issue(cycle: int, command: DramCommand):
-        completion = original_issue(cycle, command)
+    Wraps ``_apply`` — the single funnel both :meth:`SdramDevice.issue`
+    and the controller's pre-vetted :meth:`SdramDevice.issue_vetted` path
+    go through — so the capture sees every command either way."""
+    capture = WaveformCapture()
+    original_apply = device._apply
+
+    def _apply(cycle: int, command: DramCommand):
+        completion = original_apply(cycle, command)
         capture.record_command(cycle, command)
         if completion is not None:
             capture.record_burst(
@@ -126,5 +130,5 @@ def attach(device: SdramDevice) -> WaveformCapture:
             )
         return completion
 
-    device.issue = issue  # type: ignore[method-assign]
+    device._apply = _apply  # type: ignore[method-assign]
     return capture

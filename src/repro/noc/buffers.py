@@ -69,6 +69,14 @@ class InputBuffer:
         self.entries: Deque[FlitEntry] = deque()
         self._arrivals: List[Packet] = []
         self._reserved_slots = 0
+        #: Optional shared occupancy cell (a one-element int list) the
+        #: owning router installs across its input buffers, so its idle
+        #: check is O(1) instead of a scan over every lane's entries.
+        self.entry_tally: Optional[List[int]] = None
+        # Resident flits, maintained incrementally: every mutation of an
+        # entry's received/sent counters goes through this buffer, so the
+        # hot-path credit checks are O(1) instead of a sum over entries.
+        self._occupancy = 0
         #: Highest flit occupancy ever reached (telemetry): queue depth at
         #: the congested memory funnel, not just flit throughput.
         self.highwater_flits = 0
@@ -79,7 +87,7 @@ class InputBuffer:
 
     @property
     def occupancy_flits(self) -> int:
-        return sum(entry.resident_flits for entry in self.entries)
+        return self._occupancy
 
     @property
     def free_flits(self) -> int:
@@ -87,7 +95,7 @@ class InputBuffer:
 
     def has_credit(self) -> bool:
         """May the upstream link commit one more flit here?"""
-        return self.free_flits >= 1
+        return self._occupancy < self.capacity_flits
 
     def can_open_entry(self) -> bool:
         """May a new packet begin arriving (flit credit + packet slot)?"""
@@ -114,31 +122,47 @@ class InputBuffer:
         entry = FlitEntry(packet)
         self.entries.append(entry)
         self._arrivals.append(packet)
+        tally = self.entry_tally
+        if tally is not None:
+            tally[0] += 1
         return entry
 
     def commit_flit(self, entry: FlitEntry) -> None:
         """One flit of ``entry`` arrived (end-of-cycle commit)."""
         if entry.fully_received:
             raise RuntimeError("flit committed past end of packet")
-        occupancy = self.occupancy_flits
+        occupancy = self._occupancy
         if occupancy >= self.capacity_flits:
             raise RuntimeError("flit committed without credit")
         entry.received += 1
         occupancy += 1
+        self._occupancy = occupancy
         if occupancy > self.highwater_flits:
             self.highwater_flits = occupancy
 
+    def send_flit(self, entry: FlitEntry) -> None:
+        """One flit of ``entry`` left for the downstream link (frees the
+        credit the upstream scheduler checks via :meth:`has_credit`)."""
+        if entry.fully_sent:
+            raise RuntimeError("flit sent past end of packet")
+        entry.sent += 1
+        self._occupancy -= 1
+
     def push_complete(self, packet: Packet) -> None:
         """Inject a whole packet at once (local NI injection)."""
-        occupancy = self.occupancy_flits
+        occupancy = self._occupancy
         if self.capacity_flits - occupancy < packet.size_flits:
             raise RuntimeError("injection without room for the whole packet")
         occupancy += packet.size_flits
+        self._occupancy = occupancy
         if occupancy > self.highwater_flits:
             self.highwater_flits = occupancy
         entry = FlitEntry(packet, received=packet.size_flits)
         self.entries.append(entry)
         self._arrivals.append(packet)
+        tally = self.entry_tally
+        if tally is not None:
+            tally[0] += 1
 
     def can_inject(self, packet: Packet) -> bool:
         if (
@@ -146,7 +170,7 @@ class InputBuffer:
             and len(self.entries) + self._reserved_slots >= self.max_packets
         ):
             return False
-        return self.free_flits >= packet.size_flits
+        return self.capacity_flits - self._occupancy >= packet.size_flits
 
     # ------------------------------------------------------------------ #
     # Downstream (reader) side
@@ -180,6 +204,9 @@ class InputBuffer:
         if head is None or not head.fully_sent:
             raise RuntimeError("retiring an unfinished head entry")
         self.entries.popleft()
+        tally = self.entry_tally
+        if tally is not None:
+            tally[0] -= 1
         return head.packet
 
     def pop_complete(self) -> Optional[Packet]:
@@ -188,6 +215,10 @@ class InputBuffer:
         if head is None or head.claimed or not head.fully_received:
             return None
         self.entries.popleft()
+        self._occupancy -= head.received - head.sent
+        tally = self.entry_tally
+        if tally is not None:
+            tally[0] -= 1
         return head.packet
 
     def drain_arrivals(self) -> List[Packet]:

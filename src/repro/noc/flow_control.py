@@ -68,6 +68,9 @@ class RoundRobinFlowController(FlowController):
     def pick(self, candidates: Sequence[Candidate], cycle: int) -> Optional[Candidate]:
         if not candidates:
             return None
+        if len(candidates) == 1:
+            # Uncontended channel: rotation cannot change the outcome.
+            return candidates[0]
         ordered = sorted(candidates, key=lambda c: (c[0] - self._next_port) % 8)
         return ordered[0]
 
@@ -84,6 +87,9 @@ class PriorityFirstFlowController(RoundRobinFlowController):
     """
 
     def pick(self, candidates: Sequence[Candidate], cycle: int) -> Optional[Candidate]:
+        if len(candidates) == 1:
+            # Sole candidate wins whether or not it carries priority.
+            return candidates[0]
         priority = [c for c in candidates if c[1].is_priority]
         if priority:
             return min(priority, key=lambda c: c[1].created_cycle)
@@ -115,6 +121,13 @@ class DualFlowController(FlowController):
             self.normal.on_arrival(port, packet, cycle)
 
     def pick(self, candidates: Sequence[Candidate], cycle: int) -> Optional[Candidate]:
+        if len(candidates) == 1:
+            # Sole candidate: the final conventional round among
+            # {memory winner} / {the normal packet} is a formality, but
+            # the memory scheduler must still vet (and may refuse) it.
+            if candidates[0][1].is_memory_request:
+                return self.memory.pick(candidates, cycle)
+            return self.normal.pick(candidates, cycle)
         requests = [c for c in candidates if c[1].is_memory_request]
         normals = [c for c in candidates if not c[1].is_memory_request]
         finalists: List[Candidate] = list(normals)

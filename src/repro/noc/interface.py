@@ -16,9 +16,10 @@ back into the mesh once their final data beat has left the SDRAM bus.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import replace
 from itertools import count
-from typing import Dict, Iterator, List, Optional, Protocol, Tuple
+from typing import Deque, Dict, Iterator, List, Optional, Protocol, Tuple
 
 from ..dram.ecc import EccOutcome
 from ..dram.request import MemoryRequest
@@ -72,6 +73,12 @@ class _Reassembly:
 class CoreInterface:
     """Master-side NI for one core node."""
 
+    #: Simulator dispatch hint: tick() gates every phase on cheap state
+    #: checks itself, so a separate per-cycle is_idle probe would cost
+    #: about as much as the tick it skips.  Fast-forward still consults
+    #: is_idle()/wake_at().
+    step_self_gating = True
+
     def __init__(
         self,
         node: int,
@@ -101,7 +108,7 @@ class CoreInterface:
         #: hot path.
         self.resilience = resilience
         self._trace_label = f"core{generator.master}"
-        self._pending: List[Packet] = []
+        self._pending: Deque[Packet] = deque()
         self._reassembly: Dict[int, _Reassembly] = {}
         self.injected_packets = 0
         self.completed_requests = 0
@@ -110,10 +117,56 @@ class CoreInterface:
         #: drain phase of a run (outstanding work still completes).
         self.draining = False
 
+    @property
+    def generator(self) -> TrafficGenerator:
+        return self._generator
+
+    @generator.setter
+    def generator(self, generator: TrafficGenerator) -> None:
+        # Trace capture/replay swap generators after construction, so the
+        # idle-skip schedulability flag follows every assignment.
+        self._generator = generator
+        self._generator_schedulable = hasattr(generator, "next_issue_cycle")
+
     def tick(self, cycle: int) -> None:
-        self._receive(cycle)
-        self._generate(cycle)
-        self._inject(cycle)
+        if self.sink.entries:
+            self._receive(cycle)
+        if not self.draining:
+            # A schedulable generator's generate() is a strict no-op
+            # before next_issue_cycle (and forever once it is None), so
+            # skipping the call entirely is bit-identical.
+            if self._generator_schedulable:
+                next_issue = self._generator.next_issue_cycle
+                if next_issue is not None and next_issue <= cycle:
+                    self._generate(cycle)
+            else:
+                self._generate(cycle)
+        if self._pending:
+            self._inject(cycle)
+
+    # ------------------------------------------------------------------ #
+    # Simulator idle-skip contract
+    # ------------------------------------------------------------------ #
+
+    def is_idle(self, cycle: int) -> bool:
+        """True iff ticking now would do nothing: nothing queued for
+        injection, no outstanding responses, an empty sink, and a
+        generator that is provably quiet this cycle (its ``generate``
+        early-returns before drawing any randomness, so skipping keeps the
+        RNG stream bit-identical)."""
+        if self._pending or self._reassembly or self.sink.entries:
+            return False
+        if self.draining:
+            return True
+        if not self._generator_schedulable:
+            return False
+        next_issue = self.generator.next_issue_cycle
+        return next_issue is None or cycle < next_issue
+
+    def wake_at(self) -> Optional[int]:
+        if self.draining or not self._generator_schedulable:
+            return None
+        return self.generator.next_issue_cycle
 
     # ------------------------------------------------------------------ #
 
@@ -190,7 +243,7 @@ class CoreInterface:
             if not self.injection_buffer.can_inject(packet):
                 break
             self.injection_buffer.push_complete(packet)
-            self._pending.pop(0)
+            self._pending.popleft()
             self.injected_packets += 1
             tracer = self.tracer
             if tracer:
@@ -292,6 +345,12 @@ class MemoryInterface:
         self.responses_sent = 0
 
     def tick(self, cycle: int) -> None:
+        if self.is_idle(cycle):
+            # Quiet fast path: with nothing buffered anywhere and no
+            # refresh due, the full pipeline below reduces to the SDRAM
+            # device's per-cycle observed-cycle accounting.
+            self.subsystem.device.tick(cycle)
+            return
         resilience = self.resilience
         self._admit(cycle)
         self.subsystem.tick(cycle)
@@ -320,7 +379,7 @@ class MemoryInterface:
             # ECC re-reads go first: their requester has waited longest.
             retries = resilience.dram_retries
             while retries and self.subsystem.can_accept(retries[0]):
-                self.subsystem.enqueue(retries.pop(0), cycle)
+                self.subsystem.enqueue(retries.popleft(), cycle)
         while True:
             head = self.sink.head()
             if head is None or head.claimed or not head.fully_received:
@@ -380,6 +439,8 @@ class MemoryInterface:
     def _promote_ready_priority(self, cycle: int) -> None:
         """Among responses whose data is ready, inject priority ones first
         (they would otherwise queue in ready-time order)."""
+        if not self._ready:
+            return
         ready_now = [item for item in self._ready if item[0] <= cycle]
         if not ready_now:
             return
@@ -396,3 +457,36 @@ class MemoryInterface:
             and self.subsystem.idle
             and not self._ready
         )
+
+    # ------------------------------------------------------------------ #
+    # Simulator idle-skip contract
+    # ------------------------------------------------------------------ #
+
+    def is_idle(self, cycle: int) -> bool:
+        """True iff a tick would only perform the device's per-cycle
+        accounting: nothing buffered at any stage, no ECC retries queued,
+        and no refresh due or in flight."""
+        if self._ready or self.sink.entries:
+            return False
+        resilience = self.resilience
+        if resilience is not None and resilience.dram_retries:
+            return False
+        if not self.subsystem.quiescent:
+            return False
+        refresh = self.subsystem.refresh
+        if refresh is not None and refresh.enabled and (
+            refresh.due(cycle) or refresh.in_progress(cycle)
+        ):
+            return False
+        return True
+
+    def wake_at(self) -> Optional[int]:
+        refresh = self.subsystem.refresh
+        if refresh is not None and refresh.enabled:
+            return refresh.next_due_cycle
+        return None
+
+    def on_cycles_skipped(self, start: int, stop: int) -> None:
+        """Fast-forwarded cycles still elapse for the SDRAM utilization
+        denominator (the per-cycle accounting the skipped ticks carry)."""
+        self.subsystem.on_cycles_skipped(start, stop)

@@ -47,6 +47,10 @@ class MeshNetwork:
             for node in mesh.nodes()
         ]
         self.local_sinks: Dict[int, InputBuffer] = {}
+        # Active-router scan shared between is_idle() and tick() within
+        # one cycle (invalidated by the tick that consumes it).
+        self._active: List[Router] = []
+        self._active_cycle = -1
         overrides = sink_flits or {}
         endpoint_flits = (
             local_buffer_flits if local_buffer_flits is not None else buffer_flits
@@ -82,11 +86,37 @@ class MeshNetwork:
 
     def tick(self, cycle: int) -> None:
         """Two-phase cycle: all routers plan, then all routers commit,
-        keeping per-hop latency one cycle regardless of iteration order."""
-        for router in self.routers:
+        keeping per-hop latency one cycle regardless of iteration order.
+
+        Only routers with resident packets or live transfers participate:
+        for an idle router both phases are no-ops, and the active set is
+        exact because planning never *adds* entries to another router's
+        buffers (commit does, but a router that was idle at the cycle
+        start had nothing to plan, so skipping its no-op phases is
+        bit-identical).
+        """
+        if self._active_cycle == cycle:
+            # Reuse the scan :meth:`is_idle` just did for this cycle (the
+            # simulator checks idleness immediately before ticking).
+            active = self._active
+            self._active_cycle = -1
+        else:
+            active = [router for router in self.routers if not router.idle]
+        for router in active:
             router.plan(cycle)
-        for router in self.routers:
+        for router in active:
             router.commit(cycle)
+
+    # Simulator idle-skip contract: the network is purely reactive — it
+    # only moves packets the NIs inject — so it never self-wakes.
+
+    def is_idle(self, cycle: int) -> bool:
+        self._active = [router for router in self.routers if not router.idle]
+        self._active_cycle = cycle
+        return not self._active
+
+    def wake_at(self) -> Optional[int]:
+        return None
 
     @property
     def in_flight_packets(self) -> int:

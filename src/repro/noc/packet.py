@@ -19,7 +19,7 @@ testbed.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from ..dram.request import MemoryRequest, ServiceClass
@@ -37,9 +37,14 @@ def flits_for_beats(beats: int) -> int:
     return max(1, (beats + 1) // 2)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
-    """One wormhole packet (sized in flits)."""
+    """One wormhole packet (sized in flits).
+
+    ``slots=True``: packets are allocated per request part per hop-chain —
+    one of the highest-volume objects in a run — so slot storage cuts both
+    per-instance memory and attribute-access time in the router hot path.
+    """
 
     packet_id: int
     kind: PacketKind
@@ -54,27 +59,27 @@ class Packet:
     #: faults that hit this packet instance, for the fault ledger.
     corrupted: bool = False
     fault_bits: int = 0
+    #: Cached classification bits.  ``kind`` and ``request.service`` never
+    #: change after construction, and both predicates are read on every
+    #: arbitration of every hop — plain slot reads instead of property
+    #: calls keep them off the router's hot-path profile.
+    is_memory_request: bool = field(init=False, repr=False)
+    is_priority: bool = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.size_flits <= 0:
             raise ValueError("packet must contain at least one flit")
         if self.kind is PacketKind.REQUEST and self.request is None:
             raise ValueError("request packets must carry a MemoryRequest")
-
-    @property
-    def is_memory_request(self) -> bool:
-        return self.kind is PacketKind.REQUEST
+        self.is_memory_request = self.kind is PacketKind.REQUEST
+        self.is_priority = (
+            self.request is not None
+            and self.request.service is ServiceClass.PRIORITY
+        )
 
     @property
     def is_response(self) -> bool:
         return self.kind is PacketKind.RESPONSE
-
-    @property
-    def is_priority(self) -> bool:
-        return (
-            self.request is not None
-            and self.request.service is ServiceClass.PRIORITY
-        )
 
     def __str__(self) -> str:
         tag = "REQ" if self.is_memory_request else "RSP"

@@ -22,13 +22,13 @@ output their XY route selects — this is where GSS token bookkeeping
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..obs.events import EventType
 from .buffers import FlitEntry, InputBuffer
 from .flow_control import Candidate, FlowController
 from .packet import Packet
-from .routing import RoutingPolicy, admissible_ports, xy_route
+from .routing import RoutingPolicy, build_route_table
 from .topology import Mesh, Port
 
 #: factory(node, port) -> FlowController, chosen by the system builder.
@@ -68,6 +68,10 @@ class OutputPort:
         self.port = port
         self.controller = controller
         self.downstream: List[InputBuffer] = []
+        #: With a single downstream lane every packet lands there, so the
+        #: arbitration loop can skip :meth:`lane_for` (set by
+        #: :meth:`Router.connect`; None while unwired or multi-lane).
+        self._single_lane: Optional[InputBuffer] = None
         self.transfer: Optional[Transfer] = None
         self._pending_transfer: Optional[Transfer] = None
         self._move_planned = False
@@ -133,6 +137,41 @@ class Router:
             port: OutputPort(port, controller_factory(node, port))
             for port in self.ports
         }
+        # Hot-path precomputation: admissible ports per destination (static
+        # for a given mesh/policy) and flat buffer views, so the per-cycle
+        # loops index instead of re-deriving routes or walking dicts.
+        self._route_table = build_route_table(mesh, node, routing_policy)
+        self._input_items = [
+            (port, buffer) for port, lanes in self.inputs.items()
+            for buffer in lanes
+        ]
+        # Shared entry count across all input lanes, maintained by the
+        # buffers themselves: the idle check is one comparison.
+        self._entry_tally = [0]
+        for _, buffer in self._input_items:
+            buffer.entry_tally = self._entry_tally
+        self._output_list = list(self.outputs.values())
+        self._controller_by_port = {
+            port: output.controller for port, output in self.outputs.items()
+        }
+        # One bit per output (its index in ``_output_list``), and per
+        # destination the OR of its admissible outputs' bits — so the
+        # requested-ports superset in :meth:`plan` is integer arithmetic.
+        port_bit = {
+            output.port: 1 << index
+            for index, output in enumerate(self._output_list)
+        }
+        self._output_bits = [
+            (output, 1 << index)
+            for index, output in enumerate(self._output_list)
+        ]
+        self._route_masks = [
+            sum(port_bit[out_port] for out_port in routes
+                if out_port in port_bit)
+            for routes in self._route_table
+        ]
+        # Outputs whose transfer moves a flit this cycle, for commit.
+        self._planned_outputs: List[OutputPort] = []
 
     # ------------------------------------------------------------------ #
     # Wiring
@@ -142,7 +181,11 @@ class Router:
         """Wire an output to the next hop's input lanes (buffer or list)."""
         if isinstance(downstream, InputBuffer):
             downstream = [downstream]
-        self.outputs[port].downstream = list(downstream)
+        output = self.outputs[port]
+        output.downstream = list(downstream)
+        output._single_lane = (
+            output.downstream[0] if len(output.downstream) == 1 else None
+        )
 
     def input_buffer(self, port: Port, lane: int = 0) -> InputBuffer:
         return self.inputs[port][lane]
@@ -154,63 +197,149 @@ class Router:
     # Phase 1: plan
     # ------------------------------------------------------------------ #
 
+    @property
+    def idle(self) -> bool:
+        """No resident packets (and therefore no in-progress transfers —
+        a transfer's source entry lives in one of this router's input
+        buffers until retired): both plan and commit would be no-ops, so
+        the network can skip this router."""
+        return self._entry_tally[0] == 0
+
     def plan(self, cycle: int) -> None:
-        self._register_arrivals(cycle)
+        # One pass over the inputs that hold packets: arbitration below
+        # only claims existing entries (it never adds any), so the
+        # ``active`` snapshot stays valid for the whole cycle.  Arrival
+        # registration rides the same
+        # loop — a buffer with pending arrivals always holds the arrived
+        # entry (entries only leave via retire, which needs a prior
+        # arbitration, which needs this registration first), so scanning
+        # only occupied buffers is exact.
+        #
+        # ``requested`` accumulates, as a bitmask over outputs, the ports
+        # any arbitratable entry could route to this cycle.  Mirroring
+        # ``head_candidate``: an unclaimed head with its head flit present
+        # is a candidate; behind a claimed head only the second entry can
+        # be (exposed if the head retires this cycle — unknown until the
+        # busy-channel loop below, so it is included whenever the head is
+        # claimed).  New claims never mark an entry retiring, so nothing
+        # becomes a candidate mid-arbitration: claims only *remove*
+        # candidates, and this superset lets every other output skip its
+        # candidate scan entirely.
+        route_table = self._route_table
+        route_masks = self._route_masks
+        active: List = []
+        requested = 0
+        for item in self._input_items:
+            buffer = item[1]
+            entries = buffer.entries
+            if not entries:
+                continue
+            active.append(item)
+            if buffer._arrivals:
+                port = item[0]
+                controllers = self._controller_by_port
+                for packet in buffer.drain_arrivals():
+                    for out_port in route_table[packet.dst]:
+                        controllers[out_port].on_arrival(port, packet, cycle)
+            head = entries[0]
+            if not head.claimed:
+                if head.received:
+                    requested |= route_masks[head.packet.dst]
+            elif len(entries) > 1:
+                second = entries[1]
+                if not second.claimed and second.received:
+                    requested |= route_masks[second.packet.dst]
         # First plan flit movements for busy channels, so buffers know which
         # heads retire this cycle before any output arbitrates.
-        arbitrating: List[OutputPort] = []
-        for output in self.outputs.values():
-            output._move_planned = False
+        planned = self._planned_outputs
+        planned.clear()
+        arbitrating: List[Tuple[OutputPort, int]] = []
+        # No per-output ``_move_planned`` reset needed here: the flag is
+        # only ever True between the plan that appended the output to
+        # ``planned`` and the commit that consumes it (which clears it),
+        # and commit ignores outputs outside the current ``planned`` list.
+        for pair in self._output_bits:
+            output, bit = pair
             transfer = output.transfer
             if transfer is None:
-                arbitrating.append(output)
+                if requested & bit:
+                    arbitrating.append(pair)
                 continue
-            flit_ready = transfer.entry.resident_flits >= 1
-            credit = transfer.dst_buffer.has_credit()
-            if flit_ready and credit:
+            entry = transfer.entry
+            if entry.received > entry.sent and transfer.dst_buffer.has_credit():
                 output._move_planned = True
-                if transfer.entry.sent + 1 >= transfer.entry.packet.size_flits:
-                    transfer.entry.retiring = True
-                    arbitrating.append(output)
-        for output in arbitrating:
-            self._arbitrate(output, cycle)
+                planned.append(output)
+                if entry.sent + 1 >= entry.packet.size_flits:
+                    entry.retiring = True
+                    if requested & bit:
+                        arbitrating.append(pair)
+        if arbitrating:
+            # Head candidates are resolved once per cycle, after the busy
+            # loop above fixed the ``retiring`` flags.  Arbitration only
+            # *claims* entries — a freshly claimed head never exposes the
+            # entry behind it (that needs ``retiring``) — so later outputs
+            # see the same candidates minus the claimed ones, which the
+            # per-output claimed filter in :meth:`_arbitrate` reproduces
+            # exactly.
+            heads: List = []
+            for port, buffer in active:
+                entry = buffer.head_candidate()
+                if entry is not None:
+                    heads.append(
+                        (port, buffer, entry, route_masks[entry.packet.dst])
+                    )
+            for output, bit in arbitrating:
+                self._arbitrate(output, bit, cycle, heads)
 
-    def _register_arrivals(self, cycle: int) -> None:
-        for port, lanes in self.inputs.items():
-            for buffer in lanes:
-                for packet in buffer.drain_arrivals():
-                    for out_port in self._routes(packet):
-                        self.outputs[out_port].controller.on_arrival(
-                            port, packet, cycle
-                        )
+    def _routes(self, packet: Packet) -> Tuple[Port, ...]:
+        return self._route_table[packet.dst]
 
-    def _routes(self, packet: Packet) -> List[Port]:
-        return admissible_ports(
-            self.mesh, self.node, packet.dst, self.routing_policy
-        )
-
-    def _arbitrate(self, output: OutputPort, cycle: int) -> None:
+    def _arbitrate(
+        self, output: OutputPort, bit: int, cycle: int, heads: List
+    ) -> None:
         if not output.downstream:
             return
-        candidates = self._candidates_for(output)
+        single = output._single_lane
+        candidates: List[Candidate] = []
+        sources = []
+        for port, buffer, entry, mask in heads:
+            if not mask & bit or entry.claimed:
+                continue
+            packet = entry.packet
+            lane = single if single is not None else output.lane_for(packet)
+            # Inlined can_open_entry: the plain (no packet-slot cap) case
+            # is just the flit-credit comparison.
+            if lane.max_packets is None:
+                if lane._occupancy >= lane.capacity_flits:
+                    continue
+            elif not lane.can_open_entry():
+                continue
+            candidates.append((port, packet))
+            sources.append((packet, entry, buffer, lane))
         if not candidates:
             return
         winner = output.controller.pick(candidates, cycle)
         if winner is None:
             return
         port, packet = winner
-        entry, src_buffer = self._claimable_entry(port, packet)
+        entry = src_buffer = dst_buffer = None
+        for won, won_entry, won_buffer, won_lane in sources:
+            if won is packet:
+                entry, src_buffer, dst_buffer = won_entry, won_buffer, won_lane
+                break
         assert entry is not None, "controller picked a non-candidate packet"
-        dst_buffer = output.lane_for(packet)
-        assert dst_buffer is not None
         entry.claimed = True
         dst_buffer.reserve_slot()
         output.controller.on_scheduled(port, packet, cycle)
         # Adaptive routing: withdraw the packet from the controllers of the
         # other admissible outputs.
-        for other_port in self._routes(packet):
-            if other_port is not output.port:
-                self.outputs[other_port].controller.on_withdrawn(packet, cycle)
+        routes = self._route_table[packet.dst]
+        if len(routes) > 1:
+            for other_port in routes:
+                if other_port is not output.port:
+                    self._controller_by_port[other_port].on_withdrawn(
+                        packet, cycle
+                    )
         next_transfer = Transfer(src_buffer, entry, port, dst_buffer)
         if output.transfer is None:
             output.transfer = next_transfer
@@ -218,52 +347,46 @@ class Router:
             # Current transfer finishes this cycle; queue the successor.
             output._pending_transfer = next_transfer
 
-    def _claimable_entry(self, port: Port, packet: Packet):
-        for buffer in self.inputs[port]:
-            entry = buffer.head_candidate()
-            if entry is not None and entry.packet is packet:
-                return entry, buffer
-        return None, None
-
-    def _candidates_for(self, output: OutputPort) -> List[Candidate]:
-        candidates: List[Candidate] = []
-        for port, lanes in self.inputs.items():
-            for buffer in lanes:
-                entry = buffer.head_candidate()
-                if entry is None:
-                    continue
-                if output.port not in self._routes(entry.packet):
-                    continue
-                lane = output.lane_for(entry.packet)
-                if lane is None or not lane.can_open_entry():
-                    continue
-                candidates.append((port, entry.packet))
-        return candidates
-
     # ------------------------------------------------------------------ #
     # Phase 2: commit
     # ------------------------------------------------------------------ #
 
     def commit(self, cycle: int) -> None:
-        for output in self.outputs.values():
+        planned = self._planned_outputs
+        if not planned:
+            return
+        injector = self.fault_injector
+        for output in planned:
             if not output._move_planned:
                 continue
             output._move_planned = False
             transfer = output.transfer
             assert transfer is not None
-            if transfer.dst_entry is None:
-                transfer.dst_entry = transfer.dst_buffer.open_entry(
-                    transfer.entry.packet
+            entry = transfer.entry
+            dst_buffer = transfer.dst_buffer
+            dst_entry = transfer.dst_entry
+            if dst_entry is None:
+                dst_entry = transfer.dst_entry = dst_buffer.open_entry(
+                    entry.packet
                 )
-            transfer.dst_buffer.commit_flit(transfer.dst_entry)
-            transfer.entry.sent += 1
+            # Inlined commit_flit/send_flit: plan only schedules this move
+            # after checking downstream credit and ``received > sent``
+            # (so neither end is past the packet), and links are
+            # point-to-point with NIs ticking before the network, so the
+            # state cannot change between plan and commit.
+            dst_entry.received += 1
+            occupancy = dst_buffer._occupancy + 1
+            dst_buffer._occupancy = occupancy
+            if occupancy > dst_buffer.highwater_flits:
+                dst_buffer.highwater_flits = occupancy
+            entry.sent += 1
+            transfer.src_buffer._occupancy -= 1
             output.flits_sent += 1
-            injector = self.fault_injector
             if injector is not None:
                 injector.on_link_flit(
-                    cycle, self.node, output.port, transfer.entry.packet
+                    cycle, self.node, output.port, entry.packet
                 )
-            if transfer.entry.fully_sent:
+            if entry.sent >= entry.packet.size_flits:
                 packet = transfer.src_buffer.retire_head()
                 assert packet is transfer.entry.packet
                 output.controller.on_delivered(packet, cycle)

@@ -17,7 +17,7 @@ provides both:
 from __future__ import annotations
 
 import enum
-from typing import List
+from typing import List, Tuple
 
 from .topology import Mesh, Mesh3D, Port
 
@@ -79,6 +79,23 @@ def admissible_ports(
     elif dy < y:
         ports.append(Port.NORTH)
     return ports
+
+
+def build_route_table(
+    mesh, node: int, policy: RoutingPolicy = RoutingPolicy.XY
+) -> List[Tuple[Port, ...]]:
+    """Admissible output ports from ``node`` to every destination, indexed
+    by destination node id.
+
+    Routing is static — it depends only on (mesh, node, dst, policy) — so
+    routers precompute this table once and the per-packet hot path becomes
+    a single list index instead of re-deriving coordinates and turn rules
+    for every candidate every cycle.
+    """
+    return [
+        tuple(admissible_ports(mesh, node, dst, policy))
+        for dst in mesh.nodes()
+    ]
 
 
 def route_path(mesh: Mesh, src: int, dst: int):

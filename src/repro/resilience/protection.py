@@ -32,8 +32,9 @@ drains to quiescence).
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from itertools import count
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from ..dram.ecc import EccOutcome, SecDedEcc
 from ..obs.events import EventType
@@ -74,7 +75,7 @@ class ResilienceController:
         self._retransmit_heap: List[tuple] = []
         self._seq = count()
         # DRAM re-reads ready for admission (drained by the memory NI).
-        self.dram_retries: List[object] = []
+        self.dram_retries: Deque[object] = deque()
         # In-recovery fault bookkeeping.
         self._pending: Dict[_Key, _PendingFaults] = {}
         self._parent_keys: Dict[int, Set[_Key]] = {}
@@ -162,6 +163,26 @@ class ResilienceController:
                 core.retransmit_request(request, cycle)
             else:
                 self._memory.resend_response(request, cycle)
+
+    # ------------------------------------------------------------------ #
+    # Simulator idle-skip contract
+    # ------------------------------------------------------------------ #
+
+    def is_idle(self, cycle: int) -> bool:
+        """Skipping a tick is safe only when the injector draws no
+        per-cycle randomness (rate-driven buffer flips) and nothing is
+        pending: no backoff retransmissions and no scheduled faults left
+        to arm at their exact cycles."""
+        injector = self.injector
+        if injector.enabled and self.config.buffer_flip_rate > 0.0:
+            return False
+        if injector._schedule_pos < len(injector._schedule):
+            return False
+        return not self._retransmit_heap
+
+    def wake_at(self) -> Optional[int]:
+        heap = self._retransmit_heap
+        return heap[0][0] if heap else None
 
     # ------------------------------------------------------------------ #
     # CRC endpoints

@@ -39,6 +39,19 @@ class RequestWatchdog:
         self.config = config
         self._reissues: Dict[int, int] = {}  # parent id -> re-issue count
 
+    def is_idle(self, cycle: int) -> bool:
+        """No-op cycles: off the scan stride, or nothing outstanding to
+        judge.  Purely reactive — while any request *is* outstanding its
+        core NI reports non-idle, so fast-forward never jumps a deadline."""
+        if cycle % CHECK_INTERVAL != 0:
+            return True
+        return not any(
+            interface._reassembly for interface in self.core_interfaces
+        )
+
+    def wake_at(self) -> None:
+        return None
+
     def tick(self, cycle: int) -> None:
         if cycle % CHECK_INTERVAL != 0:
             return

@@ -1,10 +1,43 @@
-"""Cycle-driven simulation kernel.
+"""Cycle-driven simulation kernel with idle-aware dispatch.
 
 The whole system (traffic generators, NoC routers, memory subsystem, SDRAM
 device) advances in lockstep, one memory-clock cycle at a time.  Components
 implement the :class:`Clocked` protocol and are registered with a
 :class:`Simulator` in pipeline order (producers before consumers), which keeps
 single-cycle forwarding deterministic without a two-phase commit.
+
+Idle-aware dispatch
+-------------------
+
+Ticking every component every memory-clock cycle is wasteful in exactly the
+regime bandwidth-bound SoCs live in: most cycles, most of the fabric is
+quiescent.  Components may therefore opt into the **idle-skip contract**:
+
+* ``is_idle(cycle) -> bool`` — ``True`` iff ``tick(cycle)`` would be a
+  provable no-op *and* the component stays a no-op every subsequent cycle
+  until either an external input arrives (another component's tick) or its
+  own ``wake_at()`` cycle is reached.  The simulator then skips the tick.
+  Because a skipped tick changes no state, skipping is bit-identical to
+  naive stepping by construction.
+* ``wake_at() -> Optional[int]`` — earliest future cycle at which the
+  component could become non-idle *on its own* (a traffic generator's next
+  issue, a refresh timer's next due cycle, a watchdog deadline).  ``None``
+  means purely reactive: only another component can wake it.
+* ``on_cycles_skipped(start, stop) -> None`` (optional) — account for the
+  half-open cycle range ``[start, stop)`` the component was never ticked
+  for.  Used by per-cycle bookkeeping such as the SDRAM observed-cycle
+  counter, so fast-forwarding keeps utilization denominators exact.
+
+When *every* registered component reports idle in the same cycle, the
+kernel **fast-forwards**: it jumps straight to the minimum ``wake_at()``
+(bounded by the run horizon) instead of stepping through the gap one cycle
+at a time.  Fast-forwarding is disabled while ``on_cycle`` hooks or a
+profiler are attached — those observe individual cycles — and per-component
+skipping is disabled under a profiler so attribution stays truthful.
+
+Set ``idle_skip=False`` (or ``Simulator(idle_skip=False)``) to force naive
+exhaustive stepping; the golden regression tests run both kernels and
+require bit-identical metrics.
 """
 
 from __future__ import annotations
@@ -30,11 +63,28 @@ class Simulator:
     behaviour of registered (flip-flop separated) hardware pipelines.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, idle_skip: bool = True) -> None:
         self._components: List[Clocked] = []
         self._cycle = 0
         self._hooks: List[Callable[[int], None]] = []
         self._profiler = None
+        self.idle_skip = idle_skip
+        # Parallel to _components: bound fast-path methods, or None when a
+        # component does not implement the corresponding contract method.
+        self._ticks: List[Callable[[int], None]] = []
+        self._idle_checks: List[Optional[Callable[[int], bool]]] = []
+        self._wake_ats: List[Optional[Callable[[], Optional[int]]]] = []
+        self._skip_accounts: List[Optional[Callable[[int, int], None]]] = []
+        # Per-cycle skip predicates: like _idle_checks, but None for
+        # components with on_cycles_skipped — those keep per-cycle state
+        # (e.g. observed-cycle counters) that only bulk fast-forward
+        # accounting may elide, so step() must always tick them.
+        self._step_idle_checks: List[Optional[Callable[[int], bool]]] = []
+        # (check, tick) pairs, so the per-cycle dispatch loop iterates one
+        # list without indexing into the parallel ones.
+        self._step_pairs: List = []
+        #: Cycles elided by fast-forward (telemetry; counted in ``cycle``).
+        self.fast_forwarded_cycles = 0
 
     @property
     def cycle(self) -> int:
@@ -43,9 +93,32 @@ class Simulator:
 
     def add(self, component: Clocked) -> Clocked:
         """Register ``component`` and return it (for fluent wiring)."""
-        if not hasattr(component, "tick"):
+        tick = getattr(component, "tick", None)
+        if not callable(tick):
             raise TypeError(f"{component!r} does not implement tick()")
         self._components.append(component)
+        self._ticks.append(tick)
+        is_idle = getattr(component, "is_idle", None)
+        if not callable(is_idle):
+            is_idle = None
+        self._idle_checks.append(is_idle)
+        wake_at = getattr(component, "wake_at", None)
+        self._wake_ats.append(wake_at if callable(wake_at) else None)
+        skipped = getattr(component, "on_cycles_skipped", None)
+        if not callable(skipped):
+            skipped = None
+        self._skip_accounts.append(skipped)
+        # Components with bulk skip accounting must be ticked every
+        # stepped cycle; self-gating components ask to be ticked directly
+        # because their tick() is already a cheap no-op when idle, making
+        # a separate per-cycle idle probe pure overhead.  Both still
+        # participate in fast-forward via is_idle/wake_at.
+        if skipped is not None or getattr(component, "step_self_gating", False):
+            step_check = None
+        else:
+            step_check = is_idle
+        self._step_idle_checks.append(step_check)
+        self._step_pairs.append((step_check, tick))
         return component
 
     def add_all(self, components) -> None:
@@ -71,8 +144,14 @@ class Simulator:
         """Advance the system by exactly one cycle; return the new cycle count."""
         cycle = self._cycle
         if self._profiler is None:
-            for component in self._components:
-                component.tick(cycle)
+            if self.idle_skip:
+                for check, tick in self._step_pairs:
+                    if check is not None and check(cycle):
+                        continue
+                    tick(cycle)
+            else:
+                for tick in self._ticks:
+                    tick(cycle)
             for hook in self._hooks:
                 hook(cycle)
         else:
@@ -80,16 +159,67 @@ class Simulator:
         self._cycle = cycle + 1
         return self._cycle
 
+    # ------------------------------------------------------------------ #
+    # Fast-forward support
+    # ------------------------------------------------------------------ #
+
+    def _all_idle(self, cycle: int) -> bool:
+        """Every component implements and reports the idle contract."""
+        for check in self._idle_checks:
+            if check is None or not check(cycle):
+                return False
+        return True
+
+    def _next_wake(self) -> Optional[int]:
+        """Earliest self-wake cycle across components (None = fully
+        reactive system: with everything idle, nothing ever happens)."""
+        earliest: Optional[int] = None
+        for wake in self._wake_ats:
+            if wake is None:
+                continue
+            candidate = wake()
+            if candidate is None:
+                continue
+            if earliest is None or candidate < earliest:
+                earliest = candidate
+        return earliest
+
+    def _fast_forward(self, end: int) -> bool:
+        """If the whole system is idle at the current cycle, jump to the
+        next wake cycle (clamped to ``end``).  Returns whether a jump
+        happened.  Skipped ranges are reported to components that account
+        per-cycle state via ``on_cycles_skipped``."""
+        cycle = self._cycle
+        if not self._all_idle(cycle):
+            return False
+        wake = self._next_wake()
+        target = end if wake is None else min(max(wake, cycle + 1), end)
+        if target <= cycle:
+            return False
+        for account in self._skip_accounts:
+            if account is not None:
+                account(cycle, target)
+        self.fast_forwarded_cycles += target - cycle
+        self._cycle = target
+        return True
+
     def run(self, cycles: int, until: Optional[Callable[[], bool]] = None) -> int:
         """Run for ``cycles`` cycles, or until ``until()`` becomes true.
 
-        Returns the total number of cycles simulated so far.
+        ``until`` is evaluated *before* each step, so a predicate that is
+        already true at entry simulates zero cycles.  Returns the total
+        number of cycles simulated so far.
         """
         if cycles < 0:
             raise ValueError("cycles must be non-negative")
         end = self._cycle + cycles
+        fast_forward_ok = (
+            self.idle_skip and self._profiler is None and not self._hooks
+        )
         while self._cycle < end:
-            self.step()
             if until is not None and until():
                 break
+            if fast_forward_ok and self._fast_forward(end):
+                continue
+            self.step()
         return self._cycle

@@ -46,7 +46,8 @@ class LatencySeries:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """The ``q``-th percentile (0-100) of recorded latencies.
+        """The ``q``-th percentile (0-100) of recorded latencies, with
+        linear interpolation between closest ranks (the numpy/R-7 default).
 
         Requires ``keep_samples=True``; the paper reports means, but tail
         latency is what a real-time core actually provisions for.
@@ -62,8 +63,14 @@ class LatencySeries:
                 "completed)"
             )
         ordered = sorted(self.samples)
-        index = min(len(ordered) - 1, round(q / 100 * (len(ordered) - 1)))
-        return float(ordered[index])
+        rank = q / 100 * (len(ordered) - 1)
+        lower = int(rank)
+        fraction = rank - lower
+        if fraction == 0.0:
+            return float(ordered[lower])
+        return (
+            ordered[lower] + (ordered[lower + 1] - ordered[lower]) * fraction
+        )
 
 
 class StatsCollector:
@@ -148,6 +155,13 @@ class StatsCollector:
         if cycle < self.warmup:
             return
         self.observed_cycles += 1
+
+    def record_idle_cycles(self, start: int, stop: int) -> None:
+        """Bulk form of :meth:`record_idle_cycle` for the half-open range
+        ``[start, stop)`` — used when the simulator fast-forwards over
+        globally idle cycles, so the utilization denominator stays exactly
+        what per-cycle accounting would have produced."""
+        self.observed_cycles += max(0, stop - max(start, self.warmup))
 
     def record_command(self, cycle: int, kind: str) -> None:
         if cycle < self.warmup:

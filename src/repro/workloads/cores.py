@@ -198,6 +198,13 @@ class SyntheticCore:
     def outstanding(self) -> int:
         return self._outstanding
 
+    @property
+    def next_issue_cycle(self) -> Optional[int]:
+        """Earliest cycle :meth:`generate` could issue (idle-skip wake
+        target).  ``generate`` is a strict no-op — no RNG draws — before
+        this cycle, so skipping it keeps the random stream bit-identical."""
+        return self._next_issue_cycle
+
 
 # ---------------------------------------------------------------------- #
 # Core-type factories (Section III / V traffic classes)

@@ -41,6 +41,13 @@ class TraceRecorder:
     def on_complete(self, request_id: int, cycle: int) -> None:
         self.inner.on_complete(request_id, cycle)
 
+    @property
+    def next_issue_cycle(self) -> Optional[int]:
+        # Deliberately raises AttributeError when the wrapped generator is
+        # not schedulable, so hasattr() sees the recorder the same way it
+        # would see the inner generator.
+        return self.inner.next_issue_cycle
+
 
 class TraceReplayer:
     """TrafficGenerator that replays a recorded trace open-loop.
@@ -84,6 +91,14 @@ class TraceReplayer:
     @property
     def exhausted(self) -> bool:
         return self._cursor >= len(self.entries)
+
+    @property
+    def next_issue_cycle(self) -> Optional[int]:
+        """Next recorded issue cycle; ``None`` once the trace is drained
+        (the replayer never wakes again on its own)."""
+        if self._cursor >= len(self.entries):
+            return None
+        return self.entries[self._cursor].cycle
 
 
 def _copy_request(request: MemoryRequest) -> MemoryRequest:

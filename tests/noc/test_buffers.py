@@ -20,8 +20,11 @@ class TestCredits:
         buffer.commit_flit(entry)
         buffer.commit_flit(entry)
         assert buffer.occupancy_flits == 2
-        entry.sent += 1
+        # Occupancy is maintained incrementally, so flit departures must go
+        # through send_flit (the router's commit path does).
+        buffer.send_flit(entry)
         assert buffer.occupancy_flits == 1
+        assert entry.sent == 1
 
     def test_credit_exhausted_at_capacity(self):
         buffer = InputBuffer(2)

@@ -117,11 +117,12 @@ class TestBackpressure:
                                 src=4, dst=0, cycle=0)
         router.input_buffer(Port.EAST).push_complete(packet)
         cycle = tick(router, 6)
-        # drain downstream by consuming flits (simulate next hop)
+        # drain downstream by consuming flits (simulate next hop); credit
+        # is tracked incrementally, so departures go through send_flit
         entry = small_sink.head()
         while not entry.fully_received:
             if entry.resident_flits > 0:
-                entry.sent += 1
+                small_sink.send_flit(entry)
             router.tick(cycle)
             cycle += 1
             if cycle > 40:

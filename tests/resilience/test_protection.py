@@ -142,7 +142,7 @@ class TestDramPath:
         controller, _ = self._scheduled(2)
         request = _request()
         assert controller.on_dram_burst(0, request) is EccOutcome.DETECTED
-        assert controller.dram_retries == [request]
+        assert list(controller.dram_retries) == [request]
         assert controller.dram_reread_count == 1
         assert controller.busy
         # the re-read comes back clean

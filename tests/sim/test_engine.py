@@ -85,3 +85,137 @@ def test_components_see_monotonic_cycles():
     sim.add(Watcher())
     sim.run(50)
     assert seen == list(range(50))
+
+
+def test_run_until_true_at_entry_simulates_zero_cycles():
+    log = []
+    sim = Simulator()
+    sim.add(Recorder(log, "x"))
+    assert sim.run(100, until=lambda: True) == 0
+    assert sim.cycle == 0 and log == []
+
+
+def test_add_rejects_non_callable_tick_attribute():
+    class Broken:
+        tick = "not callable"
+
+    with pytest.raises(TypeError):
+        Simulator().add(Broken())
+
+
+class Sleeper:
+    """Idle-skip component: quiet until ``wake`` (None = purely reactive),
+    then ticks exactly once and goes quiet again."""
+
+    def __init__(self, log, wake=None):
+        self.log = log
+        self.wake = wake
+        self.skipped = []
+
+    def tick(self, cycle):
+        self.log.append(cycle)
+        if self.wake is not None and cycle >= self.wake:
+            self.wake = None
+
+    def is_idle(self, cycle):
+        return self.wake is None or cycle < self.wake
+
+    def wake_at(self):
+        return self.wake
+
+    def on_cycles_skipped(self, start, stop):
+        self.skipped.append((start, stop))
+
+
+def test_fast_forward_jumps_to_wake_cycle():
+    log = []
+    sim = Simulator()
+    component = sim.add(Sleeper(log, wake=40))
+    sim.run(100)
+    # Cycles 0-39 are skipped in one jump; 40 ticks; 41-99 jump to end.
+    assert log == [40]
+    assert sim.cycle == 100
+    assert sim.fast_forwarded_cycles == 99
+    assert component.skipped == [(0, 40), (41, 100)]
+
+
+def test_fast_forward_clamps_to_run_horizon():
+    log = []
+    sim = Simulator()
+    component = sim.add(Sleeper(log, wake=500))
+    sim.run(100)
+    assert log == []
+    assert sim.cycle == 100
+    assert component.skipped == [(0, 100)]
+    sim.run(500)
+    assert log == [500]
+    assert sim.cycle == 600
+
+
+def test_fast_forward_with_no_wake_jumps_to_end():
+    sim = Simulator()
+    component = sim.add(Sleeper([], wake=None))
+    sim.run(1_000)
+    assert sim.cycle == 1_000
+    assert sim.fast_forwarded_cycles == 1_000
+    assert component.skipped == [(0, 1_000)]
+
+
+def test_fast_forward_disabled_without_idle_skip():
+    log = []
+    sim = Simulator(idle_skip=False)
+    sim.add(Sleeper(log, wake=40))
+    sim.run(100)
+    # Naive stepping ticks every cycle, idle or not.
+    assert log == list(range(100))
+    assert sim.fast_forwarded_cycles == 0
+
+
+def test_fast_forward_disabled_with_cycle_hooks():
+    """on_cycle hooks observe individual cycles, so every cycle must step."""
+    log, hooks = [], []
+    sim = Simulator()
+    sim.add(Sleeper(log, wake=40))
+    sim.on_cycle(hooks.append)
+    sim.run(100)
+    assert hooks == list(range(100))
+    assert sim.fast_forwarded_cycles == 0
+
+
+def test_step_skips_idle_components_without_skip_accounting():
+    """Per-cycle dispatch honours is_idle for components that do not keep
+    per-cycle counters (no on_cycles_skipped)."""
+
+    class Gated:
+        def __init__(self):
+            self.ticks = []
+
+        def tick(self, cycle):
+            self.ticks.append(cycle)
+
+        def is_idle(self, cycle):
+            return cycle % 2 == 0  # idle on even cycles
+
+    sim = Simulator()
+    gated = sim.add(Gated())
+    always = sim.add(Recorder([], "busy"))
+    always.is_idle = None  # plain component: no idle contract
+    for _ in range(6):
+        sim.step()
+    assert gated.ticks == [1, 3, 5]
+
+
+def test_step_always_ticks_components_with_skip_accounting():
+    """A component with on_cycles_skipped keeps per-cycle state, so the
+    stepped path must tick it every cycle even while it reports idle —
+    only bulk fast-forward may elide its ticks (with accounting)."""
+    log = []
+    sleeper = Sleeper(log, wake=None)  # always idle
+    busy = Recorder([], "busy")        # keeps the system from fast-forwarding
+
+    sim = Simulator()
+    sim.add(sleeper)
+    sim.add(busy)
+    sim.run(10)
+    assert log == list(range(10))
+    assert sleeper.skipped == []

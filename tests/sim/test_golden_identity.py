@@ -1,0 +1,84 @@
+"""Golden regression: idle-skip stepping is bit-identical to naive stepping.
+
+The idle-skip contract (see :mod:`repro.sim.engine`) claims that skipping a
+component's tick when ``is_idle`` holds — and fast-forwarding whole idle
+gaps — changes no observable state.  These tests hold the kernel to that
+claim end-to-end: full systems run twice, once per kernel, and every
+reported metric (and the resilience ledger, when faults are injected) must
+match exactly.  Any drift here means a component's ``is_idle`` lied.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.system import build_system
+from repro.resilience.faults import FaultConfig
+from repro.sim.config import NocDesign, SystemConfig
+
+CYCLES = 2_500
+WARMUP = 400
+
+FAULTS = FaultConfig(link_corrupt_rate=1e-3, sdram_bit_rate=1e-3)
+
+
+def _run(idle_skip: bool, design: NocDesign, faults) -> dict:
+    config = SystemConfig(
+        app="single_dtv", cycles=CYCLES, warmup=WARMUP,
+        design=design, seed=2010, faults=faults,
+    )
+    system = build_system(config)
+    system.simulator.idle_skip = idle_skip
+    metrics = system.run(CYCLES)
+    observed = dataclasses.asdict(metrics)
+    resilience = system.resilience
+    if resilience is not None:
+        observed["resilience"] = {
+            "recovered": resilience.recovered,
+            "failed_faults": resilience.failed_faults,
+            "crc_retries": resilience.crc_retries,
+            "dram_rereads": resilience.dram_reread_count,
+            "watchdog_reissues": resilience.watchdog_reissues,
+            "failed_requests": resilience.failed_requests,
+            "stale_responses": resilience.stale_responses,
+            "injected": dict(resilience.injector.injected),
+        }
+    return observed
+
+
+@pytest.mark.parametrize("design", [NocDesign.GSS_SAGM, NocDesign.CONV])
+@pytest.mark.parametrize("faults", [None, FAULTS], ids=["clean", "faulty"])
+def test_idle_skip_metrics_bit_identical(design, faults):
+    skipping = _run(True, design, faults)
+    naive = _run(False, design, faults)
+    diffs = {
+        key: (skipping[key], naive[key])
+        for key in skipping
+        if skipping[key] != naive[key]
+    }
+    assert not diffs, f"idle-skip kernel diverged from naive stepping: {diffs}"
+
+
+def test_fast_forward_engages_on_drained_system():
+    """The identity above is only meaningful if the fast path engages.
+
+    At the paper's operating point the fabric is saturated, so global
+    fast-forward never fires mid-run (per-cycle skipping carries the
+    speedup there); it fires on idle tails.  After :meth:`System.drain`
+    reaches quiescence, every component is idle with no self-wake, so a
+    further run must jump over (almost) the whole horizon instead of
+    stepping it."""
+    config = SystemConfig(
+        app="single_dtv", cycles=CYCLES, warmup=WARMUP,
+        design=NocDesign.GSS_SAGM, seed=2010,
+    )
+    system = build_system(config)
+    system.run(CYCLES)
+    assert system.drain(), "system failed to quiesce"
+    before = system.simulator.fast_forwarded_cycles
+    horizon = 10_000
+    system.simulator.run(horizon)
+    jumped = system.simulator.fast_forwarded_cycles - before
+    assert jumped > horizon * 0.9, (
+        f"quiescent system stepped {horizon - jumped} of {horizon} cycles"
+    )

@@ -135,6 +135,39 @@ class TestPercentiles:
         assert 49 <= series.percentile(50) <= 51
         assert 94 <= series.percentile(95) <= 96
 
+    def test_percentile_linear_interpolation_exact(self):
+        """R-7 (numpy default) closest-ranks interpolation, exactly."""
+        series = LatencySeries(keep_samples=True)
+        for value in (1, 2, 3, 4):
+            series.record(value)
+        assert series.percentile(50) == pytest.approx(2.5)
+        assert series.percentile(25) == pytest.approx(1.75)
+        assert series.percentile(75) == pytest.approx(3.25)
+        assert series.percentile(10) == pytest.approx(1.3)
+
+    def test_percentile_exact_rank_avoids_interpolation(self):
+        series = LatencySeries(keep_samples=True)
+        for value in (10, 20, 30):
+            series.record(value)
+        # Ranks 0, 1, 2 land exactly on samples.
+        assert series.percentile(0) == 10.0
+        assert series.percentile(50) == 20.0
+        assert series.percentile(100) == 30.0
+
+    def test_percentile_single_sample(self):
+        series = LatencySeries(keep_samples=True)
+        series.record(7)
+        for q in (0, 13, 50, 99, 100):
+            assert series.percentile(q) == 7.0
+
+    def test_percentile_unsorted_input(self):
+        series = LatencySeries(keep_samples=True)
+        for value in (9, 1, 5, 3, 7):
+            series.record(value)
+        assert series.percentile(50) == 5.0
+        assert series.percentile(75) == pytest.approx(7.0)
+        assert series.percentile(90) == pytest.approx(8.2)
+
     def test_percentile_requires_samples(self):
         series = LatencySeries()
         series.record(5)
