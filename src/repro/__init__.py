@@ -28,8 +28,9 @@ from .sim.config import (
     paper_configs,
 )
 from .sim.stats import RunMetrics
+from .sweep import Job, ResultStore, SweepSpec, run_sweep
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ConfigError",
@@ -37,17 +38,21 @@ __all__ = [
     "FaultConfig",
     "FaultInjector",
     "FaultSite",
+    "Job",
     "MemoryTracer",
     "MetricsRegistry",
     "NocDesign",
     "NullTracer",
+    "ResultStore",
     "RunMetrics",
     "ScheduledFault",
     "SimulatorProfiler",
     "SocSystem",
+    "SweepSpec",
     "SystemConfig",
     "build_system",
     "paper_configs",
     "run_config",
+    "run_sweep",
     "__version__",
 ]

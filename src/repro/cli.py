@@ -10,6 +10,10 @@ Examples::
     python -m repro fig8 --max-routers 5
     python -m repro table4
     python -m repro all --cycles 8000
+    python -m repro sweep fault --rates 0 1e-3 --seeds 2010 2011 --jobs 4
+    python -m repro sweep fig8 --max-routers 3 --jobs 8
+    python -m repro sweep grid --axis app=bluray,single_dtv \
+        --axis fault_rate=0,1e-3 --set cycles=4000 --jobs 4
 """
 
 from __future__ import annotations
@@ -22,6 +26,11 @@ from typing import List, Optional
 from .core.system import build_system
 from .experiments import fig8, table1, table2, table3, table4, table5
 from .sim.config import DdrGeneration, NocDesign, SystemConfig
+
+
+#: Default content-addressed result store shared by `repro all` and
+#: `repro sweep` — exhibits and sweeps hit each other's cached points.
+DEFAULT_STORE_PATH = ".repro-cache/results.jsonl"
 
 
 def _design(value: str) -> NocDesign:
@@ -131,6 +140,70 @@ def build_parser() -> argparse.ArgumentParser:
     everything.add_argument("--cycles", type=int, default=None)
     everything.add_argument("--warmup", type=int, default=None)
     everything.add_argument("--seeds", type=int, nargs="+", default=None)
+    everything.add_argument(
+        "--store", default=DEFAULT_STORE_PATH, metavar="PATH",
+        help="content-addressed result store consulted before every "
+        f"simulation (default: {DEFAULT_STORE_PATH}); a second "
+        "invocation is served from it",
+    )
+    everything.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore the result store and simulate every point afresh",
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="sharded parameter sweeps: expand a grid into jobs, run "
+        "them across worker processes, persist every point in a "
+        "content-addressed result store (re-runs are cache hits)",
+    )
+    grids_sub = sweep.add_subparsers(dest="grid", required=True)
+
+    sweep_fault = grids_sub.add_parser(
+        "fault", help="fault-rate × seed grid (the `repro faults` sweep, "
+        "sharded)",
+    )
+    sweep_fault.add_argument(
+        "--rates", type=float, nargs="+", default=None, metavar="RATE",
+        help="uniform fault rates (default: 0 1e-4 1e-3 1e-2)",
+    )
+    sweep_fault.add_argument("--seeds", type=int, nargs="+", default=[2010])
+    sweep_fault.add_argument("--app", default="single_dtv")
+    sweep_fault.add_argument("--cycles", type=int, default=None)
+    sweep_fault.add_argument("--warmup", type=int, default=None)
+    sweep_fault.add_argument("--drain-cycles", type=int, default=None)
+    _add_sweep_args(sweep_fault)
+
+    sweep_fig8 = grids_sub.add_parser(
+        "fig8", help="Fig. 8 GSS-router-count grid, one job per "
+        "(operating point, router count, seed)",
+    )
+    sweep_fig8.add_argument("--cycles", type=int, default=None)
+    sweep_fig8.add_argument("--warmup", type=int, default=None)
+    sweep_fig8.add_argument("--seeds", type=int, nargs="+", default=None)
+    sweep_fig8.add_argument("--max-routers", type=int, default=None)
+    _add_sweep_args(sweep_fig8)
+
+    sweep_grid = grids_sub.add_parser(
+        "grid", help="arbitrary SystemConfig grid: cross every --axis, "
+        "pin --set fields, derive per-job seeds unless seed is an axis",
+    )
+    sweep_grid.add_argument(
+        "--axis", action="append", default=[], metavar="FIELD=V1,V2,...",
+        help="swept field and its values (repeatable); fields are "
+        "SystemConfig fields plus fault_rate",
+    )
+    sweep_grid.add_argument(
+        "--set", action="append", default=[], metavar="FIELD=VALUE",
+        dest="pins", help="pinned field override (repeatable)",
+    )
+    sweep_grid.add_argument(
+        "--replicates", type=int, default=1, metavar="N",
+        help="derived-seed replicates per grid point",
+    )
+    sweep_grid.add_argument("--root-seed", type=int, default=2010)
+    sweep_grid.add_argument("--name", default="grid")
+    _add_sweep_args(sweep_grid)
 
     export = sub.add_parser(
         "export", help="run every exhibit and write results as JSON"
@@ -160,6 +233,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     return parser
+
+
+def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
+    """The orchestration flags shared by every `repro sweep` grid."""
+    import os
+
+    parser.add_argument(
+        "--jobs", type=int, default=os.cpu_count() or 1, metavar="N",
+        help="worker processes (default: all cores); 1 runs in-process",
+    )
+    parser.add_argument(
+        "--store", default=DEFAULT_STORE_PATH, metavar="PATH",
+        help=f"result store JSONL (default: {DEFAULT_STORE_PATH})",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="serve already-stored points from the store (the default; "
+        "interrupted sweeps resume for free)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="re-simulate every point, overwriting stored results",
+    )
+    parser.add_argument(
+        "--retry-failed", action="store_true",
+        help="re-execute stored failed points instead of serving them "
+        "from the store",
+    )
+    parser.add_argument(
+        "--require-all-cached", action="store_true",
+        help="exit 2 if any point had to be simulated (CI assertion "
+        "that a sweep is fully cached)",
+    )
+    parser.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="render results as a text table or a JSON document",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-job progress lines on stderr",
+    )
 
 
 def _add_config_args(
@@ -324,15 +438,10 @@ def _cmd_faults(args) -> int:
         kwargs["warmup"] = args.warmup
     points = fault_sweep.run_fault_sweep(**kwargs)
     print(fault_sweep.render(points))
-    hung = [p for p in points if not p.quiesced]
-    unaccounted = [p for p in points if not p.accounted]
-    if hung:
-        print(f"FAIL: {len(hung)} sweep point(s) did not drain "
-              f"(hung requests)", file=sys.stderr)
-    if unaccounted:
-        print(f"FAIL: {len(unaccounted)} sweep point(s) left injected "
-              f"faults unaccounted", file=sys.stderr)
-    return 1 if hung or unaccounted else 0
+    failing = [p for p in points if p.failure_reason() is not None]
+    for point in failing:
+        print(f"FAIL: {point.failure_reason()}", file=sys.stderr)
+    return 1 if failing else 0
 
 
 def _cmd_profile(args) -> None:
@@ -375,6 +484,241 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+#: SystemConfig fields the generic grid can sweep or pin, with their
+#: value parsers (`fault_rate` is the uniform-profile pseudo-field).
+_SWEEP_BOOL_FIELDS = frozenset(
+    ["priority_enabled", "sti", "adaptive_routing", "check_invariants"]
+)
+_SWEEP_INT_FIELDS = frozenset([
+    "clock_mhz", "pct", "num_gss_routers", "cycles", "warmup", "seed",
+    "input_buffer_flits", "link_buffer_flits", "max_outstanding",
+    "virtual_channels",
+])
+
+
+def _grid_value(field: str, text: str):
+    """Parse one `--axis`/`--set` value for a SystemConfig field."""
+    if field == "design":
+        return _design(text)
+    if field == "ddr":
+        return _ddr(text)
+    if field == "app":
+        return text
+    if field in _SWEEP_BOOL_FIELDS:
+        lowered = text.lower()
+        if lowered in ("1", "true", "yes", "on"):
+            return True
+        if lowered in ("0", "false", "no", "off"):
+            return False
+        raise argparse.ArgumentTypeError(
+            f"{field} expects a boolean, got {text!r}"
+        )
+    if field == "fault_rate":
+        return float(text)
+    if field in _SWEEP_INT_FIELDS:
+        return int(text)
+    raise argparse.ArgumentTypeError(
+        f"unknown sweep field {field!r}; sweepable fields: app, design, "
+        f"ddr, fault_rate, {', '.join(sorted(_SWEEP_BOOL_FIELDS | _SWEEP_INT_FIELDS))}"
+    )
+
+
+def _parse_assignment(text: str, multi: bool):
+    """Split `field=v` / `field=v1,v2,...` and coerce the values."""
+    field, _, raw = text.partition("=")
+    if not _ or not field or not raw:
+        raise argparse.ArgumentTypeError(
+            f"expected FIELD=VALUE{'S' if multi else ''}, got {text!r}"
+        )
+    if multi:
+        return field, [_grid_value(field, part) for part in raw.split(",")]
+    return field, _grid_value(field, raw)
+
+
+def _sweep_progress(job, record, cached, done, total):
+    if cached:
+        status = "hit"
+    elif record.get("status") == "ok":
+        status = "ok"
+    else:
+        status = "FAIL"
+    elapsed = record.get("elapsed_s") or 0.0
+    print(
+        f"[{done:>4d}/{total}] {status:<4s} {job.label} ({elapsed:.2f}s)",
+        file=sys.stderr,
+    )
+
+
+def _sweep_document(report) -> dict:
+    return {
+        "summary": {
+            "total": report.total,
+            "cache_hits": report.hits,
+            "executed": report.executed,
+            "failed": report.failed,
+            "duplicates": report.duplicates,
+            "elapsed_s": round(report.elapsed_s, 3),
+        },
+        "records": [dict(outcome.record) for outcome in report.outcomes],
+    }
+
+
+def _render_grid_table(report) -> str:
+    lines = [
+        f"{'status':>6s} {'util':>7s} {'lat(all)':>9s} {'lat(dem)':>9s} "
+        f"{'done':>6s}  job"
+    ]
+    for outcome in report.outcomes:
+        result = outcome.record.get("result") or {}
+        if outcome.ok:
+            lines.append(
+                f"{'ok':>6s} {result['utilization']:7.3f} "
+                f"{result['latency_all']:9.1f} "
+                f"{result['latency_demand']:9.1f} "
+                f"{int(result['completed']):>6d}  {outcome.job.label}"
+            )
+        else:
+            lines.append(
+                f"{'FAIL':>6s} {'-':>7s} {'-':>9s} {'-':>9s} {'-':>6s}  "
+                f"{outcome.job.label}"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_sweep(args) -> int:
+    import json
+
+    from .experiments import fault_sweep as fault_sweep_mod
+    from .experiments.fig8 import render as render_fig8
+    from .sweep import (
+        ResultStore,
+        config_grid_spec,
+        fault_points,
+        fault_sweep_spec,
+        fig8_curves,
+        fig8_jobs,
+        run_sweep,
+    )
+
+    store = ResultStore(args.store)
+    run_kwargs = dict(
+        store=store,
+        workers=args.jobs,
+        use_cache=not args.no_cache,
+        retry_failed=args.retry_failed,
+        progress=None if args.quiet else _sweep_progress,
+    )
+
+    if args.grid == "fault":
+        kwargs = dict(seeds=tuple(args.seeds), app=args.app)
+        if args.rates is not None:
+            kwargs["rates"] = tuple(args.rates)
+        if args.cycles is not None:
+            kwargs["cycles"] = args.cycles
+        if args.warmup is not None:
+            kwargs["warmup"] = args.warmup
+        if args.drain_cycles is not None:
+            kwargs["drain_cycles"] = args.drain_cycles
+        spec = fault_sweep_spec(**kwargs)
+        report = run_sweep(spec, **run_kwargs)
+        if args.format == "json":
+            print(json.dumps(_sweep_document(report), indent=1))
+        else:
+            for seed in args.seeds:
+                rows = [p for s, p in fault_points(store, spec) if s == seed]
+                print(f"seed {seed}")
+                print(fault_sweep_mod.render(rows))
+                print()
+            print(report.summary())
+    elif args.grid == "fig8":
+        kwargs = {}
+        if args.cycles is not None:
+            kwargs["cycles"] = args.cycles
+        if args.warmup is not None:
+            kwargs["warmup"] = args.warmup
+        if args.seeds is not None:
+            kwargs["seeds"] = tuple(args.seeds)
+        if args.max_routers is not None:
+            kwargs["max_routers"] = args.max_routers
+        report = run_sweep(fig8_jobs(**kwargs), **run_kwargs)
+        if args.format == "json":
+            print(json.dumps(_sweep_document(report), indent=1))
+        else:
+            print(render_fig8(fig8_curves(store, **kwargs)))
+            print()
+            print(report.summary())
+    else:  # generic SystemConfig grid
+        axes = {}
+        for entry in args.axis:
+            field, values = _parse_assignment(entry, multi=True)
+            axes[field] = values
+        base = {}
+        for entry in args.pins:
+            field, value = _parse_assignment(entry, multi=False)
+            base[field] = value
+        if not axes:
+            print("error: at least one --axis is required", file=sys.stderr)
+            return 2
+        spec = config_grid_spec(
+            base, axes, replicates=args.replicates,
+            root_seed=args.root_seed, name=args.name,
+        )
+        report = run_sweep(spec, **run_kwargs)
+        if args.format == "json":
+            print(json.dumps(_sweep_document(report), indent=1))
+        else:
+            print(_render_grid_table(report))
+            print()
+            print(report.summary())
+
+    for outcome in report.outcomes:
+        if not outcome.ok:
+            print(
+                f"FAIL: {outcome.job.label}: {outcome.record.get('error')}",
+                file=sys.stderr,
+            )
+    if args.require_all_cached and not report.all_cached:
+        print(
+            f"FAIL: --require-all-cached but {report.executed} point(s) "
+            f"were simulated",
+            file=sys.stderr,
+        )
+        return 2
+    return 1 if report.failed else 0
+
+
+def _render_all(kwargs) -> None:
+    print(table1.render(table1.run_table1(**kwargs)))
+    print()
+    print(table2.render(table2.run_table2(**kwargs)))
+    print()
+    print(table3.render(table3.run_table3(**kwargs)))
+    print()
+    print(table4.render())
+    print()
+    print(table5.render())
+    print()
+    print(fig8.render(fig8.run_fig8(**kwargs)))
+
+
+def _cmd_all(args) -> None:
+    kwargs = _seeds(args)
+    if args.no_cache:
+        _render_all(kwargs)
+        return
+    from .experiments.runner import cached_runs
+    from .sweep.store import ResultStore
+
+    store = ResultStore(args.store)
+    with cached_runs(store):
+        _render_all(kwargs)
+    print()
+    print(
+        f"result store  : {args.store} "
+        f"({store.hits} hit(s), {store.misses} simulated)"
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -409,19 +753,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"wrote {args.output}")
     elif args.command == "bench":
         return _cmd_bench(args)
+    elif args.command == "sweep":
+        return _cmd_sweep(args)
     elif args.command == "all":
-        kwargs = _seeds(args)
-        print(table1.render(table1.run_table1(**kwargs)))
-        print()
-        print(table2.render(table2.run_table2(**kwargs)))
-        print()
-        print(table3.render(table3.run_table3(**kwargs)))
-        print()
-        print(table4.render())
-        print()
-        print(table5.render())
-        print()
-        print(fig8.render(fig8.run_fig8(**kwargs)))
+        _cmd_all(args)
     return 0
 
 

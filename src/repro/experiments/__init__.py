@@ -4,13 +4,21 @@ from .controlled import ControlledResult, capture_trace, run_controlled
 from .export import export_all
 from .spread import MetricSpread, measure_spread
 from .comparison import ComparisonCell, ComparisonResult, METRICS, run_comparison
-from .fault_sweep import FAULT_SWEEP_RATES, FaultSweepPoint, run_fault_sweep
+from .fault_sweep import (
+    DRAIN_CYCLES,
+    FAULT_SWEEP_RATES,
+    FaultSweepPoint,
+    run_fault_point,
+    run_fault_sweep,
+)
 from .fig8 import FIG8_POINTS, Fig8Curve, knee_index, run_fig8
 from .runner import (
     AveragedMetrics,
     DEFAULT_CYCLES,
     DEFAULT_SEEDS,
     DEFAULT_WARMUP,
+    active_store,
+    cached_runs,
     experiment_config,
     run_averaged,
     run_once,
@@ -34,6 +42,7 @@ __all__ = [
     "DEFAULT_CYCLES",
     "DEFAULT_SEEDS",
     "DEFAULT_WARMUP",
+    "DRAIN_CYCLES",
     "FAULT_SWEEP_RATES",
     "FaultSweepPoint",
     "FIG8_POINTS",
@@ -44,10 +53,13 @@ __all__ = [
     "TABLE3_POINTS",
     "Table2Result",
     "Table3Row",
+    "active_store",
+    "cached_runs",
     "experiment_config",
     "knee_index",
     "run_averaged",
     "run_comparison",
+    "run_fault_point",
     "run_fault_sweep",
     "run_fig8",
     "run_once",

@@ -7,12 +7,18 @@ latency degrade as the CRC/retry, ECC, and watchdog machinery absorbs
 the faults — together with the fault ledger proving that every injected
 fault was corrected, recovered, or surfaced as a failed request (the
 ``unresolved`` column must read zero; a run that cannot drain to
-quiescence is reported as hung).
+quiescence is reported as hung, with the rate and the drain budget it
+exhausted).
 
 The zero-rate row doubles as the control: with ``faults=None`` the
 resilience machinery is not even built, so that row is bit-identical to
 the plain system and any difference against it is attributable to the
 faults, not the instrumentation.
+
+:func:`run_fault_point` is the single-point path the sweep
+orchestrator's ``fault-point`` job runner executes verbatim
+(:mod:`repro.sweep.runners`), which is what makes a sharded
+``repro sweep fault`` bit-identical to this serial driver.
 """
 
 from __future__ import annotations
@@ -49,6 +55,9 @@ class FaultSweepPoint:
     watchdog_reissues: int
     failed_requests: int
     quiesced: bool
+    #: The drain budget this point was given (cycles); reported whenever
+    #: the point hangs so the message says what was exhausted.
+    drain_budget: int = DRAIN_CYCLES
 
     @property
     def accounted(self) -> bool:
@@ -58,6 +67,78 @@ class FaultSweepPoint:
             == self.corrected + self.recovered + self.failed_faults
         )
 
+    def failure_reason(self) -> Optional[str]:
+        """Why this point counts as failed, or ``None`` if healthy.
+
+        Hung points name the rate and the exhausted drain budget;
+        unaccounted points name the rate and the ledger imbalance.
+        """
+        if not self.quiesced:
+            return (
+                f"rate={self.rate:g}: hung — did not drain to quiescence "
+                f"within the {self.drain_budget}-cycle drain budget"
+            )
+        if not self.accounted:
+            resolved = self.corrected + self.recovered + self.failed_faults
+            return (
+                f"rate={self.rate:g}: fault ledger unaccounted — "
+                f"injected={self.injected} but "
+                f"corrected+recovered+failed={resolved}, "
+                f"unresolved={self.unresolved}"
+            )
+        return None
+
+
+def run_fault_point(
+    rate: float,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
+    seed: int = 2010,
+    app: str = "single_dtv",
+    drain_cycles: int = DRAIN_CYCLES,
+) -> FaultSweepPoint:
+    """Simulate one fault rate on the paper's default GSS+SAGM point."""
+    overrides = {}
+    if cycles is not None:
+        overrides["cycles"] = cycles
+    if warmup is not None:
+        overrides["warmup"] = warmup
+    faults = FaultConfig.uniform(rate) if rate > 0.0 else None
+    config = experiment_config(app=app, seed=seed, faults=faults, **overrides)
+    system = build_system(config)
+    metrics = system.run()
+    quiesced = system.drain(drain_cycles)
+    controller = system.resilience
+    if controller is None:
+        return FaultSweepPoint(
+            rate=rate,
+            utilization=metrics.utilization,
+            latency_all=metrics.latency_all,
+            completed=metrics.completed,
+            injected=0, corrected=0, recovered=0,
+            failed_faults=0, unresolved=0, crc_retries=0,
+            dram_rereads=0, watchdog_reissues=0,
+            failed_requests=0, quiesced=quiesced,
+            drain_budget=drain_cycles,
+        )
+    return FaultSweepPoint(
+        rate=rate,
+        utilization=metrics.utilization,
+        latency_all=metrics.latency_all,
+        completed=metrics.completed,
+        injected=controller.injected_total,
+        corrected=controller.corrected,
+        recovered=controller.recovered,
+        failed_faults=controller.failed_faults,
+        unresolved=controller.unresolved,
+        crc_retries=controller.crc_retries,
+        dram_rereads=controller.dram_reread_count,
+        watchdog_reissues=controller.watchdog_reissues,
+        failed_requests=controller.failed_requests,
+        quiesced=quiesced,
+        drain_budget=drain_cycles,
+    )
+
 
 def run_fault_sweep(
     rates: Iterable[float] = FAULT_SWEEP_RATES,
@@ -65,56 +146,20 @@ def run_fault_sweep(
     warmup: Optional[int] = None,
     seed: int = 2010,
     app: str = "single_dtv",
+    drain_cycles: int = DRAIN_CYCLES,
 ) -> List[FaultSweepPoint]:
     """Run the sweep on the paper's default GSS+SAGM operating point."""
-    overrides = {}
-    if cycles is not None:
-        overrides["cycles"] = cycles
-    if warmup is not None:
-        overrides["warmup"] = warmup
-    points: List[FaultSweepPoint] = []
-    for rate in rates:
-        faults = FaultConfig.uniform(rate) if rate > 0.0 else None
-        config = experiment_config(
-            app=app, seed=seed, faults=faults, **overrides
+    return [
+        run_fault_point(
+            rate,
+            cycles=cycles,
+            warmup=warmup,
+            seed=seed,
+            app=app,
+            drain_cycles=drain_cycles,
         )
-        system = build_system(config)
-        metrics = system.run()
-        quiesced = system.drain(DRAIN_CYCLES)
-        controller = system.resilience
-        if controller is None:
-            points.append(
-                FaultSweepPoint(
-                    rate=rate,
-                    utilization=metrics.utilization,
-                    latency_all=metrics.latency_all,
-                    completed=metrics.completed,
-                    injected=0, corrected=0, recovered=0,
-                    failed_faults=0, unresolved=0, crc_retries=0,
-                    dram_rereads=0, watchdog_reissues=0,
-                    failed_requests=0, quiesced=quiesced,
-                )
-            )
-            continue
-        points.append(
-            FaultSweepPoint(
-                rate=rate,
-                utilization=metrics.utilization,
-                latency_all=metrics.latency_all,
-                completed=metrics.completed,
-                injected=controller.injected_total,
-                corrected=controller.corrected,
-                recovered=controller.recovered,
-                failed_faults=controller.failed_faults,
-                unresolved=controller.unresolved,
-                crc_retries=controller.crc_retries,
-                dram_rereads=controller.dram_reread_count,
-                watchdog_reissues=controller.watchdog_reissues,
-                failed_requests=controller.failed_requests,
-                quiesced=quiesced,
-            )
-        )
-    return points
+        for rate in rates
+    ]
 
 
 def render(points: List[FaultSweepPoint]) -> str:
@@ -131,7 +176,7 @@ def render(points: List[FaultSweepPoint]) -> str:
             f"{p.recovered:>6d} {p.failed_faults:>5d} {p.unresolved:>5d} "
             f"{p.crc_retries:>6d} {p.dram_rereads:>6d} "
             f"{p.failed_requests:>10d}"
-            + ("" if p.quiesced else "  [HUNG]")
+            + ("" if p.quiesced else f"  [HUNG >{p.drain_budget}c]")
         )
     return "\n".join(lines)
 

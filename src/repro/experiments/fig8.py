@@ -43,6 +43,28 @@ class Fig8Curve:
     latency_priority: List[float]
 
 
+def gss_router_counts(app: str, max_routers: int | None = None) -> List[int]:
+    """The router counts swept for ``app`` (0 .. mesh size, capped)."""
+    mesh_nodes = 16 if app == "dual_dtv" else 9
+    top = mesh_nodes if max_routers is None else min(max_routers, mesh_nodes)
+    return list(range(0, top + 1))
+
+
+def fig8_config(app: str, ddr: DdrGeneration, mhz: int, k: int, **overrides):
+    """The configuration of one Fig. 8 point: ``k`` GSS routers on the
+    ``app`` operating point.  Shared with the sweep grid definition in
+    :mod:`repro.sweep.grids` so both paths enumerate identical configs."""
+    return experiment_config(
+        app=app,
+        ddr=ddr,
+        clock_mhz=mhz,
+        design=NocDesign.GSS_SAGM,
+        priority_enabled=True,
+        num_gss_routers=k,
+        **overrides,
+    )
+
+
 def run_fig8(
     cycles: int | None = None,
     warmup: int | None = None,
@@ -57,22 +79,12 @@ def run_fig8(
         overrides["warmup"] = warmup
     curves: List[Fig8Curve] = []
     for app, ddr, mhz in FIG8_POINTS:
-        mesh_nodes = 16 if app == "dual_dtv" else 9
-        top = mesh_nodes if max_routers is None else min(max_routers, mesh_nodes)
-        counts = list(range(0, top + 1))
+        counts = gss_router_counts(app, max_routers)
         utilization: List[float] = []
         latency_all: List[float] = []
         latency_priority: List[float] = []
         for k in counts:
-            config = experiment_config(
-                app=app,
-                ddr=ddr,
-                clock_mhz=mhz,
-                design=NocDesign.GSS_SAGM,
-                priority_enabled=True,
-                num_gss_routers=k,
-                **overrides,
-            )
+            config = fig8_config(app, ddr, mhz, k, **overrides)
             metrics = run_averaged(config, seeds=seeds)
             utilization.append(metrics.utilization)
             latency_all.append(metrics.latency_all)

@@ -10,7 +10,9 @@ run-to-run spread.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
 from typing import Iterable, List, Sequence
 
 from ..core.system import build_system
@@ -52,10 +54,69 @@ class AveragedMetrics:
         )
 
 
+#: When set (via :func:`cached_runs`), every :func:`run_once` consults
+#: this content-addressed store before simulating — the seam that makes
+#: a second ``repro all`` near-instant.
+_ACTIVE_STORE = None
+
+
+@contextmanager
+def cached_runs(store):
+    """Serve :func:`run_once` from ``store`` within the block.
+
+    ``store`` is a :class:`repro.sweep.store.ResultStore`; results are
+    addressed by the same ``metrics``-job key the sweep orchestrator
+    uses, so exhibits and sweeps share one cache.  Metrics round-trip
+    through JSON exactly (Python floats are repr-round-trip stable), so
+    a cache hit is bit-identical to a fresh simulation.
+    """
+    global _ACTIVE_STORE
+    previous = _ACTIVE_STORE
+    _ACTIVE_STORE = store
+    try:
+        yield store
+    finally:
+        _ACTIVE_STORE = previous
+
+
+def active_store():
+    """The store :func:`run_once` currently consults, if any."""
+    return _ACTIVE_STORE
+
+
 def run_once(config: SystemConfig) -> RunResult:
-    """Build and simulate one configuration."""
+    """Build and simulate one configuration.
+
+    Inside a :func:`cached_runs` block, a configuration whose result is
+    already stored is served from the store without simulating; a fresh
+    result is stored on the way out.
+    """
+    store = _ACTIVE_STORE
+    if store is None:
+        system = build_system(config)
+        return RunResult(config=config, metrics=system.run())
+    # Imported lazily: repro.sweep imports this module for the
+    # experiment defaults.
+    from ..sweep.runners import metrics_job
+    from ..sweep.store import make_record
+
+    job = metrics_job(config)
+    record = store.get(job.key)
+    if record is not None and record.get("status") == "ok":
+        return RunResult(
+            config=config, metrics=RunMetrics(**record["result"])
+        )
+    started = time.perf_counter()
     system = build_system(config)
     metrics = system.run()
+    store.put(
+        make_record(
+            job,
+            status="ok",
+            result=asdict(metrics),
+            elapsed_s=time.perf_counter() - started,
+        )
+    )
     return RunResult(config=config, metrics=metrics)
 
 

@@ -1,0 +1,279 @@
+"""Multiprocess sweep orchestrator.
+
+:func:`run_sweep` takes a job list (or a :class:`~repro.sweep.spec
+.SweepSpec`), collapses duplicate keys, serves every already-stored key
+from the :class:`~repro.sweep.store.ResultStore`, and shards the
+remainder across worker processes.  Each job's outcome — ``ok`` or
+``failed``, with metrics or an error — is appended to the store the
+moment it completes, so an interrupted sweep resumes from its last
+completed point and a finished sweep re-runs as 100% cache hits.
+
+Failure containment is per point, never per sweep:
+
+* a runner that raises records a *failed* job (with
+  :class:`~repro.sweep.runners.JobFailure` carrying any partial
+  result) and the sweep continues;
+* a worker process that dies outright (segfault, ``os._exit``, OOM
+  kill) breaks the shared pool — the orchestrator then re-runs each
+  unfinished job in its own single-worker pool, so the crasher is
+  identified precisely and marked failed while innocent in-flight jobs
+  complete normally.
+
+Workers are forked where available (Linux/macOS ``fork`` context) so
+runner registrations made by the parent are visible without re-import;
+pass ``mp_context`` to override.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from .runners import JOB_RUNNERS, JobFailure
+from .spec import Job, SweepSpec, dedupe
+from .store import ResultStore, make_record
+
+#: Outcome-stream callback: (job, record, cached, done_count, total_count).
+ProgressFn = Callable[[Job, Mapping[str, object], bool, int, int], None]
+
+
+def execute_job(kind: str, params: Dict[str, object]) -> Dict[str, object]:
+    """Run one job in the current process; never raises.
+
+    The worker-side entry point: every failure mode is folded into the
+    returned payload so a Python-level error can never poison the pool.
+    """
+    started = time.perf_counter()
+    try:
+        runner = JOB_RUNNERS.get(kind)
+        if runner is None:
+            raise JobFailure(
+                f"unknown job kind {kind!r}; "
+                f"registered: {sorted(JOB_RUNNERS)}"
+            )
+        result = runner(params)
+        return {
+            "status": "ok",
+            "result": dict(result),
+            "error": None,
+            "elapsed_s": time.perf_counter() - started,
+        }
+    except JobFailure as failure:
+        return {
+            "status": "failed",
+            "result": failure.result,
+            "error": failure.error,
+            "elapsed_s": time.perf_counter() - started,
+        }
+    except Exception as exc:  # noqa: BLE001 - boundary: fold into record
+        return {
+            "status": "failed",
+            "result": None,
+            "error": f"{type(exc).__name__}: {exc}",
+            "elapsed_s": time.perf_counter() - started,
+        }
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One job's resolution within a sweep."""
+
+    job: Job
+    record: Mapping[str, object]
+    cached: bool
+
+    @property
+    def ok(self) -> bool:
+        return self.record.get("status") == "ok"
+
+
+@dataclass
+class SweepReport:
+    """What a sweep did: per-job outcomes plus aggregate counters."""
+
+    outcomes: List[JobOutcome] = field(default_factory=list)
+    #: Jobs submitted more than once with the same key (collapsed).
+    duplicates: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for outcome in self.outcomes if not outcome.cached)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for outcome in self.outcomes if not outcome.ok)
+
+    @property
+    def all_cached(self) -> bool:
+        return self.executed == 0
+
+    def record_for(self, job: Job) -> Mapping[str, object]:
+        for outcome in self.outcomes:
+            if outcome.job.key == job.key:
+                return outcome.record
+        raise KeyError(job.key)
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} job(s): {self.hits} cache hit(s), "
+            f"{self.executed} executed, {self.failed} failed "
+            f"({self.elapsed_s:.1f}s)"
+        )
+
+
+def _default_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context()
+
+
+def _run_isolated(job: Job, mp_context) -> Dict[str, object]:
+    """Re-run one suspect job in a disposable single-worker pool.
+
+    If this pool breaks too, the crash is attributable to exactly this
+    job, which is then the one marked failed.
+    """
+    try:
+        with ProcessPoolExecutor(
+            max_workers=1, mp_context=mp_context
+        ) as pool:
+            return pool.submit(
+                execute_job, job.kind, dict(job.params)
+            ).result()
+    except BrokenProcessPool:
+        return {
+            "status": "failed",
+            "result": None,
+            "error": "worker process died while running this job",
+            "elapsed_s": 0.0,
+        }
+
+
+def _run_parallel(
+    pending: Sequence[Job],
+    workers: int,
+    mp_context,
+    on_done: Callable[[Job, Dict[str, object]], None],
+) -> None:
+    """Shard ``pending`` over a worker pool, isolating crashers."""
+    suspects: List[Job] = []
+    with ProcessPoolExecutor(
+        max_workers=workers, mp_context=mp_context
+    ) as pool:
+        futures = {
+            pool.submit(execute_job, job.kind, dict(job.params)): job
+            for job in pending
+        }
+        for future in as_completed(futures):
+            job = futures[future]
+            try:
+                payload = future.result()
+            except BrokenProcessPool:
+                # A worker died; every unfinished future resolves this
+                # way and the crasher is not attributable here.  Defer
+                # to isolated re-runs below.
+                suspects.append(job)
+                continue
+            except Exception as exc:  # noqa: BLE001 - e.g. unpicklable
+                payload = {
+                    "status": "failed",
+                    "result": None,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "elapsed_s": 0.0,
+                }
+            on_done(job, payload)
+    for job in suspects:
+        on_done(job, _run_isolated(job, mp_context))
+
+
+def run_sweep(
+    jobs: Union[SweepSpec, Sequence[Job]],
+    store: Optional[ResultStore] = None,
+    workers: int = 1,
+    use_cache: bool = True,
+    retry_failed: bool = False,
+    progress: Optional[ProgressFn] = None,
+    mp_context=None,
+) -> SweepReport:
+    """Resolve every job — from the store where possible, by
+    simulation otherwise — and return the per-job outcomes.
+
+    ``use_cache=False`` forces every point to execute (fresh records
+    still overwrite the store, so it doubles as an invalidation pass).
+    ``retry_failed=True`` re-executes stored *failed* records instead
+    of serving them from cache — the default serves them, because the
+    simulator is deterministic and a re-run reproduces the failure.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if isinstance(jobs, SweepSpec):
+        jobs = jobs.expand()
+    if store is None:
+        store = ResultStore()  # memory-only
+    started = time.perf_counter()
+    unique = dedupe(jobs)
+    report = SweepReport(duplicates=len(jobs) - len(unique))
+
+    outcomes: Dict[str, JobOutcome] = {}
+    pending: List[Job] = []
+    for job in unique:
+        record = store.get(job.key) if use_cache else None
+        if record is not None and (
+            record.get("status") == "ok" or not retry_failed
+        ):
+            outcomes[job.key] = JobOutcome(job, record, cached=True)
+        else:
+            pending.append(job)
+
+    done_count = len(outcomes)
+    if progress is not None:
+        for job in unique:
+            outcome = outcomes.get(job.key)
+            if outcome is not None:
+                progress(job, outcome.record, True, done_count, len(unique))
+
+    def on_done(job: Job, payload: Dict[str, object]) -> None:
+        nonlocal done_count
+        record = make_record(
+            job,
+            status=payload["status"],
+            result=payload["result"],
+            error=payload["error"],
+            elapsed_s=payload["elapsed_s"],
+        )
+        store.put(record)
+        outcomes[job.key] = JobOutcome(job, record, cached=False)
+        done_count += 1
+        if progress is not None:
+            progress(job, record, False, done_count, len(unique))
+
+    if pending:
+        if workers == 1:
+            for job in pending:
+                on_done(job, execute_job(job.kind, dict(job.params)))
+        else:
+            _run_parallel(
+                pending,
+                workers,
+                mp_context if mp_context is not None else _default_context(),
+                on_done,
+            )
+
+    # Report in submission order regardless of completion order.
+    report.outcomes = [outcomes[job.key] for job in unique]
+    report.elapsed_s = time.perf_counter() - started
+    return report

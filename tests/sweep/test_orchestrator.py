@@ -1,0 +1,196 @@
+"""Orchestrator: sharding, caching, failure containment, crash isolation.
+
+The test runners registered here are inherited by worker processes via
+the fork start context the orchestrator uses by default, so parallel
+cases exercise the real multiprocess path.
+"""
+
+import os
+import sys
+
+import pytest
+
+from repro.sweep import (
+    Job,
+    JobFailure,
+    ResultStore,
+    SweepSpec,
+    register_runner,
+    run_sweep,
+)
+
+needs_fork = pytest.mark.skipif(
+    sys.platform == "win32", reason="fork start method required"
+)
+
+
+@register_runner("echo")
+def _echo(params):
+    return {"value": params["x"] * 10}
+
+
+@register_runner("explode")
+def _explode(params):
+    raise RuntimeError(f"boom on {params['x']}")
+
+
+@register_runner("domain-failure")
+def _domain_failure(params):
+    raise JobFailure("point diverged", result={"partial": params["x"]})
+
+
+@register_runner("crash")
+def _crash(params):
+    if params["x"] == 2:
+        os._exit(13)  # hard worker death: no exception, no cleanup
+    return {"value": params["x"]}
+
+
+def echo_jobs(values):
+    return [Job(kind="echo", params={"x": v}, label=f"x={v}") for v in values]
+
+
+class TestSerial:
+    def test_all_jobs_resolve_in_order(self):
+        report = run_sweep(echo_jobs([1, 2, 3]))
+        assert [o.record["result"]["value"] for o in report.outcomes] \
+            == [10, 20, 30]
+        assert report.executed == 3 and report.hits == 0
+
+    def test_spec_accepted_directly(self):
+        spec = SweepSpec(name="s", kind="echo", axes={"x": [1, 2]})
+        assert run_sweep(spec).total == 2
+
+    def test_runner_exception_contained_as_failed_record(self):
+        jobs = echo_jobs([1]) + [Job(kind="explode", params={"x": 9})]
+        report = run_sweep(jobs)
+        assert report.failed == 1
+        failed = report.outcomes[1]
+        assert failed.record["status"] == "failed"
+        assert "boom on 9" in failed.record["error"]
+        # the healthy job still completed
+        assert report.outcomes[0].ok
+
+    def test_job_failure_keeps_partial_result(self):
+        report = run_sweep([Job(kind="domain-failure", params={"x": 5})])
+        record = report.outcomes[0].record
+        assert record["status"] == "failed"
+        assert record["error"] == "point diverged"
+        assert record["result"] == {"partial": 5}
+
+    def test_unknown_kind_is_failed_not_fatal(self):
+        report = run_sweep([Job(kind="no-such-kind", params={})])
+        assert report.failed == 1
+        assert "unknown job kind" in report.outcomes[0].record["error"]
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            run_sweep([], workers=0)
+
+
+class TestCaching:
+    def test_second_run_is_all_hits(self):
+        store = ResultStore()
+        first = run_sweep(echo_jobs([1, 2]), store=store)
+        second = run_sweep(echo_jobs([1, 2]), store=store)
+        assert first.executed == 2
+        assert second.all_cached and second.hits == 2
+        assert [o.record["result"] for o in second.outcomes] \
+            == [o.record["result"] for o in first.outcomes]
+
+    def test_any_param_change_misses(self):
+        store = ResultStore()
+        run_sweep(echo_jobs([1]), store=store)
+        report = run_sweep(echo_jobs([2]), store=store)
+        assert report.executed == 1
+
+    def test_no_cache_forces_execution(self):
+        store = ResultStore()
+        run_sweep(echo_jobs([1]), store=store)
+        report = run_sweep(echo_jobs([1]), store=store, use_cache=False)
+        assert report.executed == 1
+
+    def test_failed_records_served_unless_retry_failed(self):
+        store = ResultStore()
+        jobs = [Job(kind="domain-failure", params={"x": 1})]
+        run_sweep(jobs, store=store)
+        cached = run_sweep(jobs, store=store)
+        assert cached.all_cached and cached.failed == 1
+        retried = run_sweep(jobs, store=store, retry_failed=True)
+        assert retried.executed == 1
+
+    def test_duplicate_jobs_run_once(self):
+        store = ResultStore()
+        report = run_sweep(echo_jobs([1, 1, 1]), store=store)
+        assert report.total == 1
+        assert report.duplicates == 2
+        assert report.executed == 1
+
+    def test_resume_after_interruption(self):
+        # Simulate an interrupted sweep: only a prefix of the grid made
+        # it into the store; the re-run executes exactly the remainder.
+        store = ResultStore()
+        grid = echo_jobs([1, 2, 3, 4])
+        run_sweep(grid[:2], store=store)
+        resumed = run_sweep(grid, store=store)
+        assert resumed.hits == 2
+        assert resumed.executed == 2
+        assert [o.record["result"]["value"] for o in resumed.outcomes] \
+            == [10, 20, 30, 40]
+
+    def test_progress_callback_sees_every_outcome(self):
+        seen = []
+        store = ResultStore()
+        run_sweep(
+            echo_jobs([1, 2]), store=store,
+            progress=lambda job, rec, cached, done, total:
+                seen.append((job.label, cached, total)),
+        )
+        run_sweep(
+            echo_jobs([1, 2]), store=store,
+            progress=lambda job, rec, cached, done, total:
+                seen.append((job.label, cached, total)),
+        )
+        assert seen == [
+            ("x=1", False, 2), ("x=2", False, 2),
+            ("x=1", True, 2), ("x=2", True, 2),
+        ]
+
+
+@needs_fork
+class TestParallel:
+    def test_parallel_matches_serial(self):
+        serial = run_sweep(echo_jobs(range(6)))
+        parallel = run_sweep(echo_jobs(range(6)), workers=3)
+        assert [o.record["result"] for o in serial.outcomes] \
+            == [o.record["result"] for o in parallel.outcomes]
+
+    def test_runner_exception_in_worker_contained(self):
+        jobs = echo_jobs([1, 2]) + [Job(kind="explode", params={"x": 3})]
+        report = run_sweep(jobs, workers=2)
+        assert report.failed == 1
+        assert sum(o.ok for o in report.outcomes) == 2
+
+    def test_worker_crash_isolated_to_its_job(self):
+        # x == 2 kills its worker process outright; the pool breaks,
+        # the orchestrator re-runs unfinished jobs in isolation, and
+        # only the crasher is marked failed.
+        jobs = [
+            Job(kind="crash", params={"x": v}, label=f"x={v}")
+            for v in [1, 2, 3, 4]
+        ]
+        report = run_sweep(jobs, workers=2)
+        by_label = {o.job.label: o for o in report.outcomes}
+        assert not by_label["x=2"].ok
+        assert "worker process died" in by_label["x=2"].record["error"]
+        for label in ("x=1", "x=3", "x=4"):
+            assert by_label[label].ok, label
+            assert by_label[label].record["result"]["value"] \
+                == int(label[2:])
+
+    def test_crashed_point_cached_as_failure(self):
+        store = ResultStore()
+        jobs = [Job(kind="crash", params={"x": 2})]
+        run_sweep(jobs, store=store, workers=2)
+        second = run_sweep(jobs, store=store, workers=2)
+        assert second.all_cached and second.failed == 1

@@ -1,0 +1,96 @@
+"""SweepSpec expansion: grid shape, seed derivation, validation."""
+
+import pytest
+
+from repro.sim.rng import derive_seed
+from repro.sweep import Job, SweepSpec, dedupe
+
+
+class TestExpansion:
+    def test_full_cross_product(self):
+        spec = SweepSpec(
+            name="g", kind="echo",
+            axes={"a": [1, 2, 3], "b": ["x", "y"]},
+        )
+        jobs = spec.expand()
+        assert len(jobs) == spec.size == 6
+        coords = [(j.params["a"], j.params["b"]) for j in jobs]
+        assert coords == [
+            (1, "x"), (1, "y"), (2, "x"), (2, "y"), (3, "x"), (3, "y"),
+        ]
+
+    def test_base_fields_pinned_on_every_job(self):
+        spec = SweepSpec(
+            name="g", kind="echo", base={"cycles": 500},
+            axes={"a": [1, 2]},
+        )
+        assert all(j.params["cycles"] == 500 for j in spec.expand())
+
+    def test_labels_name_the_coordinates(self):
+        spec = SweepSpec(name="g", kind="echo", axes={"rate": [0.0, 0.5]})
+        assert [j.label for j in spec.expand()] == ["rate=0.0", "rate=0.5"]
+
+    def test_resolver_maps_final_params(self):
+        spec = SweepSpec(
+            name="g", kind="echo", axes={"a": [1]},
+            resolver=lambda p: {"doubled": p["a"] * 2, "seed": p["seed"]},
+        )
+        job = spec.expand()[0]
+        assert job.params["doubled"] == 2
+
+
+class TestSeeds:
+    def test_explicit_seed_axis_passes_through(self):
+        spec = SweepSpec(
+            name="g", kind="echo", axes={"seed": [2010, 2011]},
+        )
+        assert [j.params["seed"] for j in spec.expand()] == [2010, 2011]
+
+    def test_derived_seeds_match_derive_seed(self):
+        spec = SweepSpec(name="g", kind="echo", axes={"a": [7]},
+                         root_seed=99)
+        job = spec.expand()[0]
+        assert job.params["seed"] == derive_seed(99, "sweep", "g", "a=7", 0)
+
+    def test_replicates_get_distinct_seeds(self):
+        spec = SweepSpec(
+            name="g", kind="echo", axes={"a": [1, 2]}, replicates=3,
+        )
+        jobs = spec.expand()
+        assert len(jobs) == 6
+        seeds = {j.params["seed"] for j in jobs}
+        assert len(seeds) == 6
+
+    def test_derivation_is_stable_across_expansions(self):
+        make = lambda: SweepSpec(  # noqa: E731
+            name="g", kind="echo", axes={"a": [1, 2]}, replicates=2,
+        ).expand()
+        assert [j.params for j in make()] == [j.params for j in make()]
+
+
+class TestValidation:
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            SweepSpec(name="g", axes={"a": []})
+
+    def test_base_axis_overlap_rejected(self):
+        with pytest.raises(ValueError, match="both base and axes"):
+            SweepSpec(name="g", base={"a": 1}, axes={"a": [1, 2]})
+
+    def test_explicit_seed_with_replicates_rejected(self):
+        with pytest.raises(ValueError, match="replicates"):
+            SweepSpec(name="g", axes={"seed": [1]}, replicates=2)
+
+    def test_unserializable_job_params_rejected(self):
+        with pytest.raises(TypeError):
+            Job(kind="echo", params={"x": object()})
+
+
+class TestDedupe:
+    def test_duplicate_keys_collapse_first_kept(self):
+        a = Job(kind="echo", params={"x": 1}, label="first")
+        b = Job(kind="echo", params={"x": 1}, label="second")
+        c = Job(kind="echo", params={"x": 2})
+        unique = dedupe([a, b, c])
+        assert len(unique) == 2
+        assert unique[0].label == "first"

@@ -1,0 +1,134 @@
+"""Result store: content-addressed keys, persistence, hit accounting."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.sweep import Job, ResultStore, job_key, make_record
+from repro.sweep.store import SCHEMA_VERSION
+
+PARAMS = {"app": "bluray", "cycles": 2000, "seed": 2010, "rate": 1e-3}
+
+
+def record_for(params, status="ok", result=None):
+    job = Job(kind="echo", params=params, label="t")
+    return make_record(
+        job, status=status,
+        result=result if result is not None else {"v": 1},
+        error=None if status == "ok" else "boom",
+    )
+
+
+class TestKeys:
+    def test_key_ignores_dict_insertion_order(self):
+        shuffled = dict(reversed(list(PARAMS.items())))
+        assert job_key("echo", PARAMS) == job_key("echo", shuffled)
+
+    def test_key_changes_on_any_field_change(self):
+        base = job_key("echo", PARAMS)
+        for field, value in [
+            ("app", "single_dtv"), ("cycles", 2001),
+            ("seed", 2011), ("rate", 1e-4),
+        ]:
+            assert job_key("echo", {**PARAMS, field: value}) != base
+        assert job_key("echo", {**PARAMS, "extra": 1}) != base
+
+    def test_key_changes_with_kind_and_schema(self):
+        assert job_key("echo", PARAMS) != job_key("other", PARAMS)
+        assert job_key("echo", PARAMS) != job_key(
+            "echo", PARAMS, schema=SCHEMA_VERSION + 1
+        )
+
+    def test_key_is_stable_across_processes(self):
+        # Hash randomization (fresh PYTHONHASHSEED per process) must not
+        # leak into the content address.
+        script = (
+            "from repro.sweep import job_key; "
+            f"print(job_key('echo', {PARAMS!r}))"
+        )
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ, PYTHONPATH=str(src), PYTHONHASHSEED="random")
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True, env=env,
+        ).stdout.strip()
+        assert out == job_key("echo", PARAMS)
+
+    def test_nan_rejected_from_key_material(self):
+        with pytest.raises(ValueError):
+            job_key("echo", {"x": float("nan")})
+
+
+class TestStore:
+    def test_memory_store_roundtrip(self):
+        store = ResultStore()
+        record = record_for(PARAMS)
+        store.put(record)
+        assert store.get(record["key"]) == record
+        assert len(store) == 1
+
+    def test_hit_and_miss_counters(self):
+        store = ResultStore()
+        record = record_for(PARAMS)
+        assert store.get(record["key"]) is None
+        store.put(record)
+        store.get(record["key"])
+        assert (store.hits, store.misses) == (1, 1)
+        # contains() must not perturb the counters
+        assert record["key"] in store
+        assert (store.hits, store.misses) == (1, 1)
+
+    def test_persists_across_instances(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        record = record_for(PARAMS)
+        ResultStore(path).put(record)
+        reloaded = ResultStore(path)
+        assert reloaded.get(record["key"]) == record
+
+    def test_last_write_wins_on_same_key(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.put(record_for(PARAMS, result={"v": 1}))
+        store.put(record_for(PARAMS, result={"v": 2}))
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        key = job_key("echo", PARAMS)
+        assert reloaded.get(key)["result"] == {"v": 2}
+
+    def test_corrupt_tail_line_skipped(self, tmp_path):
+        # An interrupted append leaves a truncated last line; loading
+        # must skip it and keep every complete record.
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.put(record_for(PARAMS))
+        with path.open("a") as handle:
+            handle.write('{"key": "abc", "trunca')
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        assert reloaded.corrupt_lines == 1
+
+    def test_failed_records_store_error_and_partial_result(self):
+        store = ResultStore()
+        record = record_for(PARAMS, status="failed", result={"partial": 1})
+        store.put(record)
+        stored = store.get(record["key"])
+        assert stored["status"] == "failed"
+        assert stored["error"] == "boom"
+        assert stored["result"] == {"partial": 1}
+
+    def test_unknown_status_rejected(self):
+        job = Job(kind="echo", params=PARAMS)
+        with pytest.raises(ValueError, match="status"):
+            make_record(job, status="meh", result=None)
+
+    def test_file_is_json_lines(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.put(record_for(PARAMS))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["kind"] == "echo"

@@ -178,3 +178,106 @@ class TestProfileCommand:
         assert "MeshNetwork" in out
         assert "component class" in out
         assert "windows" in out
+
+
+class TestSweepCommand:
+    def fault_args(self, store, extra=()):
+        return [
+            "sweep", "fault", "--cycles", "1200", "--warmup", "200",
+            "--rates", "0", "1e-3", "--seeds", "2010", "--jobs", "1",
+            "--store", str(store), "--quiet", *extra,
+        ]
+
+    def test_parser_requires_grid(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_parser_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "fault"])
+        assert args.jobs >= 1
+        assert args.format == "table"
+        assert not args.no_cache
+
+    def test_fault_sweep_runs_and_renders(self, capsys, tmp_path):
+        store = tmp_path / "store.jsonl"
+        assert main(self.fault_args(store)) == 0
+        out = capsys.readouterr().out
+        assert "seed 2010" in out
+        assert "Fault-rate sweep" in out
+        assert "2 executed" in out
+        assert store.exists()
+
+    def test_second_pass_is_all_cache_hits(self, capsys, tmp_path):
+        store = tmp_path / "store.jsonl"
+        assert main(self.fault_args(store)) == 0
+        capsys.readouterr()
+        assert main(self.fault_args(store, ["--require-all-cached"])) == 0
+        assert "2 cache hit(s), 0 executed" in capsys.readouterr().out
+
+    def test_require_all_cached_fails_on_cold_store(self, capsys, tmp_path):
+        store = tmp_path / "store.jsonl"
+        code = main(self.fault_args(store, ["--require-all-cached"]))
+        assert code == 2
+        assert "--require-all-cached" in capsys.readouterr().err
+
+    def test_json_format_documents_summary_and_records(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        store = tmp_path / "store.jsonl"
+        assert main(self.fault_args(store, ["--format", "json"])) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["summary"]["total"] == 2
+        assert len(document["records"]) == 2
+        assert all(r["status"] == "ok" for r in document["records"])
+
+    def test_grid_command_sweeps_arbitrary_fields(self, capsys, tmp_path):
+        store = tmp_path / "store.jsonl"
+        code = main([
+            "sweep", "grid",
+            "--axis", "app=bluray,single_dtv",
+            "--axis", "fault_rate=0,1e-3",
+            "--set", "cycles=1200", "--set", "warmup=200",
+            "--set", "seed=7",
+            "--jobs", "1", "--store", str(store), "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 job(s)" in out
+        assert out.count("ok") >= 4
+
+    def test_grid_without_axes_is_an_error(self, capsys, tmp_path):
+        code = main([
+            "sweep", "grid", "--jobs", "1",
+            "--store", str(tmp_path / "s.jsonl"), "--quiet",
+        ])
+        assert code == 2
+        assert "--axis" in capsys.readouterr().err
+
+    def test_grid_rejects_unknown_field(self, tmp_path):
+        with pytest.raises(Exception):
+            main([
+                "sweep", "grid", "--axis", "bogus_field=1,2",
+                "--jobs", "1", "--store", str(tmp_path / "s.jsonl"),
+                "--quiet",
+            ])
+
+    def test_fig8_sweep_small(self, capsys, tmp_path):
+        store = tmp_path / "store.jsonl"
+        code = main([
+            "sweep", "fig8", "--cycles", "800", "--warmup", "200",
+            "--seeds", "2010", "--max-routers", "0",
+            "--jobs", "1", "--store", str(store), "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "#GSS" in out
+        assert "3 job(s)" in out
+
+
+class TestAllCachedCommand:
+    def test_all_parser_has_cache_flags(self):
+        args = build_parser().parse_args(["all"])
+        assert args.store.endswith("results.jsonl")
+        assert not args.no_cache
