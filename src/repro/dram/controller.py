@@ -29,10 +29,12 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..obs.events import EventType
+from .bank import BankState
 from .commands import CommandKind, DramCommand
 from .device import SdramDevice
 from .refresh import RefreshTimer
 from .request import MemoryRequest
+from .vectorized import make_gate
 
 
 class PagePolicy(enum.Enum):
@@ -100,6 +102,9 @@ class CommandEngine:
         self.finished: List[FinishedRequest] = []
         self.demand_precharges = 0
         self.tracer = tracer
+        # Optional numpy datapath for the per-bank timing checks (None =
+        # scalar path; see repro.dram.vectorized for the feature flag).
+        self._vector_gate = make_gate(device)
 
     # ------------------------------------------------------------------ #
 
@@ -308,6 +313,121 @@ class CommandEngine:
                 self.demand_precharges += 1
                 return command
         return None
+
+    def next_attempt_cycle(self, cycle: int) -> int:
+        """Earliest future cycle :meth:`_choose_command` could return a
+        command, assuming no new accepts or external events.
+
+        Event-dispatch support: when the engine stalls on SDRAM timing
+        (tRC/tRP/tRCD, bus turnaround, tCCD/tRRD) the memory interface
+        sleeps until this cycle instead of polling.  The bound mirrors the
+        three choosers and is *conservative-early*: it may wake the engine
+        before a command is actually legal (ordering constraints such as
+        "an older entry still needs this row" resolve on retirement, which
+        is itself an engine activity) — a spurious wake re-stalls
+        bit-identically — but it is never later than the true earliest
+        issue cycle, because every time-gated threshold of every candidate
+        command is included.  Pure: no lazy auto-precharge retirement is
+        applied (pending AP windows are read, not retired).
+        """
+        device = self.device
+        banks = device.banks
+        timing = device.timing
+        floor = cycle + 1
+        bound = None
+        entries = self.entries
+        if not entries:
+            return floor
+        # CAS: in-order, head entry only, and only while its row is open
+        # (a pending auto-precharge will close it — the re-ACT path below
+        # covers that bank instead).
+        head = entries[0]
+        request = head.request
+        bank = banks[request.bank]
+        if (
+            bank.state is BankState.ACTIVE
+            and bank.open_row == request.row
+            and bank.auto_precharge_at is None
+        ):
+            latency = (
+                timing.write_latency if request.is_write
+                else timing.cas_latency
+            )
+            cas_at = max(
+                bank.cas_ready_at,
+                device._next_cas_ok,
+                device._bus_free_at - latency,
+            )
+            if request.is_write:
+                if device._last_read_data_end >= 0:
+                    cas_at = max(
+                        cas_at,
+                        device._last_read_data_end + timing.t_rtw - latency + 1,
+                    )
+            elif device._last_write_data_end >= 0:
+                cas_at = max(
+                    cas_at, device._last_write_data_end + timing.t_wtr + 1
+                )
+            bound = cas_at
+        # ACT / PRE: first entry per bank, as the choosers scan.
+        gate = self._vector_gate
+        if gate is not None:
+            # Vector datapath: gather the first-entry-per-bank scan set
+            # (order logic stays scalar), evaluate every per-bank timing
+            # candidate in one array pass.
+            gate.refresh()
+            seen = set()
+            bank_ids: List[int] = []
+            rows: List[int] = []
+            order_blocked: List[bool] = []
+            for index, entry in enumerate(entries):
+                request = entry.request
+                key = request.bank
+                if key in seen:
+                    continue
+                seen.add(key)
+                bank = banks[key]
+                bank_ids.append(key)
+                rows.append(request.row)
+                order_blocked.append(
+                    bank.auto_precharge_at is None
+                    and bank.state is BankState.ACTIVE
+                    and bank.open_row != request.row
+                    and self._older_entry_needs_row(index, key, bank.open_row)
+                )
+            candidate = gate.min_act_pre_bound(bank_ids, rows, order_blocked)
+            if candidate is not None and (bound is None or candidate < bound):
+                bound = candidate
+        else:
+            seen = set()
+            for index, entry in enumerate(entries):
+                request = entry.request
+                key = request.bank
+                if key in seen:
+                    continue
+                seen.add(key)
+                bank = banks[key]
+                if bank.auto_precharge_at is not None:
+                    # Bank self-closes at the AP window's end, then an ACT
+                    # for this entry's row becomes the pending command.
+                    candidate = max(
+                        device._next_act_ok, bank.auto_precharge_at
+                    )
+                elif bank.state is BankState.ACTIVE:
+                    if bank.open_row == request.row:
+                        continue  # row already open: nothing to prepare
+                    if self._older_entry_needs_row(index, key, bank.open_row):
+                        continue  # unblocked by retirement, not by time
+                    candidate = bank.precharge_ok_at
+                else:
+                    candidate = max(device._next_act_ok, bank.idle_at)
+                if bound is None or candidate < bound:
+                    bound = candidate
+        if bound is None:
+            # Every bank is order-blocked; retirement (an engine activity)
+            # unblocks them, so any wake cycle is safe.
+            return floor
+        return bound if bound > floor else floor
 
     def _older_entry_needs_row(self, index: int, bank: int, open_row) -> bool:
         for other in self.entries[:index]:

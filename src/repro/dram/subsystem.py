@@ -100,6 +100,37 @@ class ThinMemorySubsystem:
     def refresh(self):
         return self.engine.refresh
 
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Event-dispatch: next cycle :meth:`tick` could do real work
+        (``None`` = fully drained; only new admissions wake it).  While
+        requests wait in the window on SDRAM timing, this is the command
+        engine's conservative-early next-attempt bound — the controller
+        sleeps through tRC/tRP/turnaround stalls instead of polling."""
+        refresh = self.engine.refresh
+        if refresh is not None and refresh.enabled:
+            if refresh.due(cycle) or refresh.in_progress(cycle):
+                # Refresh phases issue PREs / wait for quiet on sub-cycle
+                # conditions; they are rare and short, so poll through.
+                return cycle + 1
+            due = refresh.next_due_cycle
+        else:
+            due = None
+        if self.queue and self.engine.has_space:
+            return cycle + 1
+        if self.engine.finished:
+            return cycle + 1
+        if self.engine.entries:
+            nxt = self.engine.next_attempt_cycle(cycle)
+        elif self.queue:
+            # Queue blocked on a full window: retirement is an engine
+            # activity, but stay conservative.
+            nxt = cycle + 1
+        else:
+            nxt = None
+        if due is not None and (nxt is None or due < nxt):
+            nxt = due
+        return nxt
+
     def on_cycles_skipped(self, start: int, stop: int) -> None:
         self.device.on_cycles_skipped(start, stop)
 
@@ -192,6 +223,31 @@ class ConvMemorySubsystem:
     @property
     def refresh(self):
         return self.engine.refresh
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Event-dispatch bound for the CONV pipeline.  MemMax arbitration
+        is cycle-dependent (per-thread service accounting), so any queued
+        front-end work polls per cycle; a back-end stalled purely on SDRAM
+        timing uses the engine's next-attempt bound, like the thin
+        subsystem."""
+        refresh = self.engine.refresh
+        if refresh is not None and refresh.enabled:
+            if refresh.due(cycle) or refresh.in_progress(cycle):
+                return cycle + 1
+            due = refresh.next_due_cycle
+        else:
+            due = None
+        if self.engine.finished:
+            return cycle + 1
+        if self.scheduler.pending and self.engine.has_space:
+            return cycle + 1
+        nxt = (
+            self.engine.next_attempt_cycle(cycle)
+            if self.engine.entries else None
+        )
+        if due is not None and (nxt is None or due < nxt):
+            nxt = due
+        return nxt
 
     def on_cycles_skipped(self, start: int, stop: int) -> None:
         self.device.on_cycles_skipped(start, stop)

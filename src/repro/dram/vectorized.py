@@ -1,0 +1,213 @@
+"""Optional numpy-vectorized DRAM bank-state/timing datapath.
+
+The per-bank timing registers (:class:`~repro.dram.bank.Bank`) are plain
+Python attributes; the command engine's legality predicates and its
+event-dispatch stall bound (:meth:`CommandEngine.next_attempt_cycle`)
+evaluate them bank-by-bank in Python loops.  This module mirrors those
+registers into numpy int64 arrays so the same checks run as a handful of
+array operations — **bit-identical** to the scalar code by construction
+(every comparison and max() below transcribes one line of the scalar
+predicate it replaces; the identity suite in ``tests/dram`` asserts the
+equivalence on randomized engine states).
+
+Feature flag
+------------
+
+``REPRO_DRAM_VECTOR`` ∈ ``{auto, on, off}`` (default ``auto``):
+
+* ``off`` — never vectorize; the pure-Python scalar path runs.
+* ``on``  — vectorize whenever numpy imports (still falls back to scalar
+  when it does not; nothing in the suite *requires* numpy).
+* ``auto`` — vectorize only when the device has at least
+  :data:`AUTO_MIN_BANKS` banks.  Measured on the shipped 8-bank DDR2/DDR3
+  configurations the array gather costs more than the 8-iteration Python
+  loop it replaces, so ``auto`` keeps them scalar; wide devices (or
+  rank-interleaved futures) cross over.  The threshold is deliberately an
+  honest measurement artifact, not a tuning knob.
+
+The gate is *pure*: like ``next_attempt_cycle`` it reads pending
+auto-precharge windows without retiring them (an expired AP is modeled as
+an IDLE bank whose ``idle_at`` equals the AP window end — exactly what
+``Bank._apply_auto_precharge`` will write when the scalar code next
+touches the bank).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+try:  # numpy is an optional dependency throughout the repo
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
+#: Sentinel for "never" (no pending AP / no admissible candidate); far past
+#: any simulated horizon and safe to compare with int64 arithmetic.
+NEVER = 1 << 60
+
+#: ``auto`` enables vectorization from this bank count upward (see module
+#: docstring: below it the gather dominates the loop it replaces).
+AUTO_MIN_BANKS = 32
+
+
+def numpy_available() -> bool:
+    return _np is not None
+
+
+def resolve_mode() -> str:
+    """The effective flag value (unknown strings fall back to ``auto``)."""
+    mode = os.environ.get("REPRO_DRAM_VECTOR", "auto").strip().lower()
+    if mode not in ("auto", "on", "off"):
+        return "auto"
+    return mode
+
+
+def make_gate(device) -> Optional["VectorBankGate"]:
+    """Build a :class:`VectorBankGate` for ``device`` per the feature flag,
+    or ``None`` when the scalar path should run (flag off, numpy missing,
+    or ``auto`` below the measured crossover)."""
+    mode = resolve_mode()
+    if mode == "off" or _np is None:
+        return None
+    if mode == "auto" and len(device.banks) < AUTO_MIN_BANKS:
+        return None
+    return VectorBankGate(device)
+
+
+class VectorBankGate:
+    """Vectorized mirror of one device's per-bank timing registers.
+
+    Call :meth:`refresh` to re-gather the mirror from the live ``Bank``
+    objects, then any number of mask/bound queries against it.  The mirror
+    is a snapshot — it is *not* updated by command issue — so refresh once
+    per decision point, exactly where the scalar code would re-read the
+    registers.
+    """
+
+    def __init__(self, device) -> None:
+        if _np is None:  # pragma: no cover - guarded by make_gate
+            raise RuntimeError("numpy is not available")
+        self.device = device
+        count = len(device.banks)
+        self._active = _np.zeros(count, dtype=bool)
+        self._open_row = _np.full(count, -1, dtype=_np.int64)
+        self._idle_at = _np.zeros(count, dtype=_np.int64)
+        self._cas_ready_at = _np.zeros(count, dtype=_np.int64)
+        self._precharge_ok_at = _np.zeros(count, dtype=_np.int64)
+        self._ap_at = _np.full(count, NEVER, dtype=_np.int64)
+
+    def refresh(self) -> None:
+        active = self._active
+        open_row = self._open_row
+        idle_at = self._idle_at
+        cas_ready_at = self._cas_ready_at
+        precharge_ok_at = self._precharge_ok_at
+        ap_at = self._ap_at
+        for index, bank in enumerate(self.device.banks):
+            active[index] = bank.is_active
+            row = bank.open_row
+            open_row[index] = -1 if row is None else row
+            idle_at[index] = bank.idle_at
+            cas_ready_at[index] = bank.cas_ready_at
+            precharge_ok_at[index] = bank.precharge_ok_at
+            ap = bank.auto_precharge_at
+            ap_at[index] = NEVER if ap is None else ap
+
+    # ------------------------------------------------------------------ #
+    # Effective state with pending APs modeled (not retired)
+    # ------------------------------------------------------------------ #
+
+    def _ap_expired(self, cycle: int):
+        return self._ap_at <= cycle
+
+    def _effective_idle(self, cycle: int):
+        """Banks IDLE after modeling expired APs, and when each re-ACTs."""
+        expired = self._ap_expired(cycle)
+        idle = ~self._active | expired
+        idle_at = _np.where(expired, self._ap_at, self._idle_at)
+        return idle, idle_at
+
+    # ------------------------------------------------------------------ #
+    # Legality masks (vector mirrors of the Bank predicates)
+    # ------------------------------------------------------------------ #
+
+    def can_activate_mask(self, cycle: int):
+        """``bank.can_activate(cycle)`` for every bank, as a bool array
+        (without the device-global tRRD gate, which is scalar state)."""
+        idle, idle_at = self._effective_idle(cycle)
+        return idle & (idle_at <= cycle)
+
+    def can_cas_mask(self, cycle: int, rows):
+        """``bank.can_cas(cycle, rows[i])`` for every bank ``i``.
+
+        Any pending AP — expired (bank about to retire to IDLE) or not
+        (``auto_precharge_at is not None``) — makes the scalar predicate
+        False, so one ``== NEVER`` test covers both branches.
+        """
+        rows = _np.asarray(rows, dtype=_np.int64)
+        return (
+            self._active
+            & (self._ap_at == NEVER)
+            & (self._open_row == rows)
+            & (self._cas_ready_at <= cycle)
+        )
+
+    def can_precharge_mask(self, cycle: int):
+        """``bank.can_precharge(cycle)`` for every bank (same AP note as
+        :meth:`can_cas_mask`)."""
+        return (
+            self._active
+            & (self._ap_at == NEVER)
+            & (self._precharge_ok_at <= cycle)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Event-dispatch stall bound (per-bank ACT/PRE candidates)
+    # ------------------------------------------------------------------ #
+
+    def act_pre_bounds(self, bank_indices: List[int], wanted_rows: List[int],
+                       order_blocked: List[bool]):
+        """The per-bank candidate cycles of
+        :meth:`CommandEngine.next_attempt_cycle`, vectorized.
+
+        ``bank_indices``/``wanted_rows``/``order_blocked`` describe the
+        first window entry per distinct bank, in scan order.  Returns an
+        int64 array with :data:`NEVER` where the scalar loop ``continue``s
+        (row already open, or older-entry order block).
+        """
+        banks = _np.asarray(bank_indices, dtype=_np.intp)
+        rows = _np.asarray(wanted_rows, dtype=_np.int64)
+        blocked = _np.asarray(order_blocked, dtype=bool)
+        next_act_ok = self.device._next_act_ok
+        ap_at = self._ap_at[banks]
+        active = self._active[banks]
+        open_row = self._open_row[banks]
+        ap_pending = ap_at < NEVER
+        # AP pending: self-closes at the window end, then re-ACT.
+        ap_bound = _np.maximum(next_act_ok, ap_at)
+        # ACTIVE, other row: demand precharge when ordering allows.
+        row_open = active & (open_row == rows)
+        pre_bound = self._precharge_ok_at[banks]
+        # IDLE: plain ACT.
+        act_bound = _np.maximum(next_act_ok, self._idle_at[banks])
+        bounds = _np.where(
+            ap_pending,
+            ap_bound,
+            _np.where(
+                active,
+                _np.where(row_open | blocked, NEVER, pre_bound),
+                act_bound,
+            ),
+        )
+        return bounds
+
+    def min_act_pre_bound(self, bank_indices, wanted_rows,
+                          order_blocked) -> Optional[int]:
+        """Smallest admissible candidate, or ``None`` when every bank is
+        order-blocked (mirrors the scalar loop's ``bound is None``)."""
+        if not bank_indices:
+            return None
+        bounds = self.act_pre_bounds(bank_indices, wanted_rows, order_blocked)
+        best = int(bounds.min())
+        return None if best >= NEVER else best

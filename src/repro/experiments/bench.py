@@ -38,7 +38,7 @@ from typing import Callable, Dict, List, Optional
 from ..sim.config import DdrGeneration, NocDesign, SystemConfig
 
 #: Trajectory file written by this PR (bump per growth PR).
-TRAJECTORY_FILE = "BENCH_5.json"
+TRAJECTORY_FILE = "BENCH_7.json"
 
 #: Default measurement protocol (mirrors ``benchmarks/conftest.py``).
 DEFAULT_CYCLES = 12_000
@@ -229,7 +229,7 @@ def write_trajectory(
     measurement this PR started from) and the ``current`` point, plus the
     calibration-scaled speedups between them."""
     document: Dict[str, object] = {
-        "bench": "BENCH_5",
+        "bench": TRAJECTORY_FILE.rsplit(".", 1)[0],
         "schema": 1,
         "protocol": protocol or {
             "cycles": DEFAULT_CYCLES,

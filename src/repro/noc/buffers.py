@@ -80,6 +80,21 @@ class InputBuffer:
         #: Highest flit occupancy ever reached (telemetry): queue depth at
         #: the congested memory funnel, not just flit throughput.
         self.highwater_flits = 0
+        #: Event-dispatch hooks (installed by the owning components, None
+        #: when unused): ``wake_consumer`` fires when new data lands here
+        #: (a flit commits or an entry opens); ``wake_credit`` fires when
+        #: room frees up (a flit leaves or a packet slot is released).
+        #: Call sites in the router hot path invoke them inline.
+        self.wake_consumer = None
+        self.wake_credit = None
+        #: When the wake hook target is a router, the router itself — the
+        #: network commit loop then clears its sleep flag directly instead
+        #: of running the full hook → engine-wake chain: during a network
+        #: tick the engine re-arms the network from ``event_wake_at``
+        #: anyway, so only the sleep flag matters (NI-facing buffers leave
+        #: these None and keep the full hooks).
+        self.consumer_router = None
+        self.credit_router = None
 
     # ------------------------------------------------------------------ #
     # Upstream (writer) side
@@ -139,6 +154,9 @@ class InputBuffer:
         self._occupancy = occupancy
         if occupancy > self.highwater_flits:
             self.highwater_flits = occupancy
+        wake = self.wake_consumer
+        if wake is not None:
+            wake()
 
     def send_flit(self, entry: FlitEntry) -> None:
         """One flit of ``entry`` left for the downstream link (frees the
@@ -147,6 +165,9 @@ class InputBuffer:
             raise RuntimeError("flit sent past end of packet")
         entry.sent += 1
         self._occupancy -= 1
+        wake = self.wake_credit
+        if wake is not None:
+            wake()
 
     def push_complete(self, packet: Packet) -> None:
         """Inject a whole packet at once (local NI injection)."""
@@ -163,6 +184,9 @@ class InputBuffer:
         tally = self.entry_tally
         if tally is not None:
             tally[0] += 1
+        wake = self.wake_consumer
+        if wake is not None:
+            wake()
 
     def can_inject(self, packet: Packet) -> bool:
         if (
@@ -207,6 +231,12 @@ class InputBuffer:
         tally = self.entry_tally
         if tally is not None:
             tally[0] -= 1
+        # Only a packet *slot* frees here (flit credits were signalled as
+        # each flit left), so uncapped buffers skip the wake entirely.
+        if self.max_packets is not None:
+            wake = self.wake_credit
+            if wake is not None:
+                wake()
         return head.packet
 
     def pop_complete(self) -> Optional[Packet]:
@@ -219,6 +249,9 @@ class InputBuffer:
         tally = self.entry_tally
         if tally is not None:
             tally[0] -= 1
+        wake = self.wake_credit
+        if wake is not None:
+            wake()
         return head.packet
 
     def drain_arrivals(self) -> List[Packet]:

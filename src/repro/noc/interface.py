@@ -116,6 +116,7 @@ class CoreInterface:
         #: When set, stop pulling new requests from the generator — the
         #: drain phase of a run (outstanding work still completes).
         self.draining = False
+        self._wake = None
 
     @property
     def generator(self) -> TrafficGenerator:
@@ -167,6 +168,33 @@ class CoreInterface:
         if self.draining or not self._generator_schedulable:
             return None
         return self.generator.next_issue_cycle
+
+    # ------------------------------------------------------------------ #
+    # Event-dispatch contract
+    # ------------------------------------------------------------------ #
+
+    def attach_wake(self, wake) -> None:
+        self._wake = wake
+        # Response flits landing in the sink must wake this NI.
+        self.sink.wake_consumer = wake
+
+    def event_wake_at(self, cycle: int) -> Optional[int]:
+        if self._pending or self.sink.entries:
+            return cycle + 1
+        if self.draining:
+            return None
+        if not self._generator_schedulable:
+            return cycle + 1  # unschedulable generator: poll every cycle
+        generator = self._generator
+        if getattr(generator, "issue_blocked", False):
+            # Capped at max outstanding: generate() is a strict no-op
+            # until a completion arrives — which comes through the sink
+            # (wake hook) or a resilience fail_request (explicit wake).
+            return None
+        next_issue = generator.next_issue_cycle
+        if next_issue is None:
+            return None
+        return next_issue if next_issue > cycle else cycle + 1
 
     # ------------------------------------------------------------------ #
 
@@ -274,6 +302,9 @@ class CoreInterface:
                 next(self.packet_ids), part, self.node, self.memory_node, cycle
             )
         )
+        wake = self._wake
+        if wake is not None:
+            wake()
 
     def reissue(self, parent: int, cycle: int) -> None:
         """Watchdog re-issue: re-inject every part of ``parent`` under a
@@ -292,6 +323,9 @@ class CoreInterface:
                     next(self.packet_ids), clone, self.node, self.memory_node, cycle
                 )
             )
+        wake = self._wake
+        if wake is not None:
+            wake()
 
     def fail_request(self, parent: int, cycle: int) -> bool:
         """Surface ``parent`` as failed: drop its reassembly state and
@@ -302,6 +336,9 @@ class CoreInterface:
             return False
         self.generator.on_complete(tracker.original.request_id, cycle)
         self.failed_requests += 1
+        wake = self._wake
+        if wake is not None:
+            wake()  # the freed outstanding slot may unblock the generator
         return True
 
     @property
@@ -343,6 +380,7 @@ class MemoryInterface:
         self._sequence = count()
         self.admitted = 0
         self.responses_sent = 0
+        self._wake = None
 
     def tick(self, cycle: int) -> None:
         if self.is_idle(cycle):
@@ -435,6 +473,9 @@ class MemoryInterface:
         heapq.heappush(
             self._ready, (cycle, rank, next(self._sequence), request)
         )
+        wake = self._wake
+        if wake is not None:
+            wake()
 
     def _promote_ready_priority(self, cycle: int) -> None:
         """Among responses whose data is ready, inject priority ones first
@@ -490,3 +531,40 @@ class MemoryInterface:
         """Fast-forwarded cycles still elapse for the SDRAM utilization
         denominator (the per-cycle accounting the skipped ticks carry)."""
         self.subsystem.on_cycles_skipped(start, stop)
+
+    # ------------------------------------------------------------------ #
+    # Event-dispatch contract
+    # ------------------------------------------------------------------ #
+
+    def attach_wake(self, wake) -> None:
+        self._wake = wake
+        # Request flits landing in the sink must wake this NI.
+        self.sink.wake_consumer = wake
+
+    def event_wake_at(self, cycle: int) -> Optional[int]:
+        """Next cycle with possible work.  Buffered stages poll per cycle
+        (they make progress most cycles at the paper's operating point);
+        a subsystem stalled purely on SDRAM timing sleeps until the
+        controller's earliest possible command (the big event-dispatch
+        win: no ticks during tRC/tRP/tRCD/refresh stalls)."""
+        nxt = None
+        if self.sink.entries:
+            nxt = cycle + 1
+        else:
+            resilience = self.resilience
+            if resilience is not None and resilience.dram_retries:
+                nxt = cycle + 1
+        if self._ready:
+            ready = self._ready[0][0]
+            if ready <= cycle:
+                ready = cycle + 1
+            if nxt is None or ready < nxt:
+                nxt = ready
+        if nxt != cycle + 1:
+            sub = self.subsystem.next_event_cycle(cycle)
+            if sub is not None:
+                if sub <= cycle:
+                    sub = cycle + 1
+                if nxt is None or sub < nxt:
+                    nxt = sub
+        return nxt

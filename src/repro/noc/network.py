@@ -101,7 +101,10 @@ class MeshNetwork:
             active = self._active
             self._active_cycle = -1
         else:
-            active = [router for router in self.routers if not router.idle]
+            active = [
+                router for router in self.routers
+                if router._entry_tally[0] and not router._asleep
+            ]
         for router in active:
             router.plan(cycle)
         for router in active:
@@ -111,12 +114,45 @@ class MeshNetwork:
     # only moves packets the NIs inject — so it never self-wakes.
 
     def is_idle(self, cycle: int) -> bool:
-        self._active = [router for router in self.routers if not router.idle]
+        self._active = [
+            router for router in self.routers
+            if router._entry_tally[0] and not router._asleep
+        ]
         self._active_cycle = cycle
         return not self._active
 
     def wake_at(self) -> Optional[int]:
         return None
+
+    # ------------------------------------------------------------------ #
+    # Event-dispatch contract
+    # ------------------------------------------------------------------ #
+
+    def event_wake_at(self, cycle: int) -> Optional[int]:
+        """Tick again next cycle while any router holds packets; routers
+        individually asleep are skipped inside :meth:`tick`, and a fully
+        drained network sleeps until a producer wakes it through a router
+        wake hook."""
+        for router in self.routers:
+            if router._entry_tally[0] and not router._asleep:
+                return cycle + 1
+        # Every resident router is asleep (head-of-line blocked): wake
+        # hooks (flit arrivals / freed credits) re-arm us.
+        return None
+
+    def attach_wake(self, wake) -> None:
+        for router in self.routers:
+            router._net_wake = wake
+
+    def on_run_mode(self, event_dispatch: bool) -> None:
+        """Router sleep is an event-dispatch shortcut; the reference
+        kernels (stepped/naive) must keep planning every non-empty router,
+        so sleeping is switched off — and any stale sleep state cleared —
+        when event dispatch is not active."""
+        for router in self.routers:
+            router._sleep_enabled = event_dispatch
+            if not event_dispatch:
+                router._asleep = False
 
     @property
     def in_flight_packets(self) -> int:

@@ -172,6 +172,24 @@ class Router:
         ]
         # Outputs whose transfer moves a flit this cycle, for commit.
         self._planned_outputs: List[OutputPort] = []
+        # --- event-dispatch sleep state --------------------------------- #
+        # A router goes to sleep after a provably no-op plan (no arrivals
+        # registered, no flit moves planned, no channel claimed): every
+        # subsequent plan is the same no-op until an input event — a flit
+        # or entry landing in an input buffer (wake_consumer) or credit
+        # freeing downstream (wake_credit) — which calls wake_event().
+        # This is sound because a no-op plan mutates nothing and its
+        # no-op-ness depends only on buffer/channel state, never on the
+        # cycle number (pick() implementations are mutation-free and
+        # outcome-stable on the no-candidate path).  Sleeping is enabled
+        # only under event dispatch so the reference kernels keep planning
+        # every non-empty router.
+        self._asleep = False
+        self._sleep_enabled = False
+        self._net_wake = None
+        for _, buffer in self._input_items:
+            buffer.wake_consumer = self.wake_event
+            buffer.consumer_router = self
 
     # ------------------------------------------------------------------ #
     # Wiring
@@ -186,6 +204,19 @@ class Router:
         output._single_lane = (
             output.downstream[0] if len(output.downstream) == 1 else None
         )
+        # Credit freed in a downstream lane may unblock this router's
+        # output channel, so it must end this router's sleep.
+        for lane in output.downstream:
+            lane.wake_credit = self.wake_event
+            lane.credit_router = self
+
+    def wake_event(self, at=None) -> None:
+        """End this router's sleep (event-dispatch wake hook); forwards to
+        the network's engine wake handle so the network itself re-arms."""
+        self._asleep = False
+        wake = self._net_wake
+        if wake is not None:
+            wake(at)
 
     def input_buffer(self, port: Port, lane: int = 0) -> InputBuffer:
         return self.inputs[port][lane]
@@ -229,6 +260,7 @@ class Router:
         route_masks = self._route_masks
         active: List = []
         requested = 0
+        worked = False
         for item in self._input_items:
             buffer = item[1]
             entries = buffer.entries
@@ -236,6 +268,7 @@ class Router:
                 continue
             active.append(item)
             if buffer._arrivals:
+                worked = True
                 port = item[0]
                 controllers = self._controller_by_port
                 for packet in buffer.drain_arrivals():
@@ -289,16 +322,21 @@ class Router:
                         (port, buffer, entry, route_masks[entry.packet.dst])
                     )
             for output, bit in arbitrating:
-                self._arbitrate(output, bit, cycle, heads)
+                if self._arbitrate(output, bit, cycle, heads):
+                    worked = True
+        if self._sleep_enabled and not worked and not planned:
+            self._asleep = True
 
     def _routes(self, packet: Packet) -> Tuple[Port, ...]:
         return self._route_table[packet.dst]
 
     def _arbitrate(
         self, output: OutputPort, bit: int, cycle: int, heads: List
-    ) -> None:
+    ) -> bool:
+        """Arbitrate one idle output; returns whether a channel was claimed
+        (the sleep logic in :meth:`plan` counts claims as work)."""
         if not output.downstream:
-            return
+            return False
         single = output._single_lane
         candidates: List[Candidate] = []
         sources = []
@@ -317,10 +355,10 @@ class Router:
             candidates.append((port, packet))
             sources.append((packet, entry, buffer, lane))
         if not candidates:
-            return
+            return False
         winner = output.controller.pick(candidates, cycle)
         if winner is None:
-            return
+            return False
         port, packet = winner
         entry = src_buffer = dst_buffer = None
         for won, won_entry, won_buffer, won_lane in sources:
@@ -346,6 +384,7 @@ class Router:
         else:
             # Current transfer finishes this cycle; queue the successor.
             output._pending_transfer = next_transfer
+        return True
 
     # ------------------------------------------------------------------ #
     # Phase 2: commit
@@ -382,6 +421,28 @@ class Router:
             entry.sent += 1
             transfer.src_buffer._occupancy -= 1
             output.flits_sent += 1
+            # Event wakes, inline like the flit move above: data landed
+            # downstream (consumer) and a credit freed upstream.  When the
+            # target is a router, clearing its sleep flag suffices — the
+            # engine re-arms the network from event_wake_at right after
+            # this tick, which sees the now-awake router.  NI-facing
+            # buffers (local sinks) take the full hook so the NI's own
+            # engine wake still fires.
+            target = dst_buffer.consumer_router
+            if target is not None:
+                target._asleep = False
+            else:
+                wake = dst_buffer.wake_consumer
+                if wake is not None:
+                    wake()
+            src_buffer = transfer.src_buffer
+            target = src_buffer.credit_router
+            if target is not None:
+                target._asleep = False
+            else:
+                wake = src_buffer.wake_credit
+                if wake is not None:
+                    wake()
             if injector is not None:
                 injector.on_link_flit(
                     cycle, self.node, output.port, entry.packet

@@ -70,6 +70,30 @@ class SimulatorProfiler:
         if self.cycles_profiled % self.window_cycles == 0:
             self._roll_window(cycle + 1)
 
+    def timed_tick(
+        self, label: str, tick: Callable[[int], None], cycle: int
+    ) -> None:
+        """Run and time one ``tick`` under event dispatch.
+
+        Event dispatch only runs the components actually due a cycle, so
+        attribution covers exactly the work performed: skipped components
+        contribute no calls (their absence *is* the speedup).  The engine
+        closes each processed cycle with :meth:`end_cycle`."""
+        start = perf_counter()
+        tick(cycle)
+        elapsed = perf_counter() - start
+        self.totals[label] = self.totals.get(label, 0.0) + elapsed
+        self.calls[label] = self.calls.get(label, 0) + 1
+        window = self._window_totals
+        window[label] = window.get(label, 0.0) + elapsed
+
+    def end_cycle(self, cycle: int) -> None:
+        """Close one *processed* cycle of event dispatch (jumped cycles do
+        not count: no work ran in them)."""
+        self.cycles_profiled += 1
+        if self.cycles_profiled % self.window_cycles == 0:
+            self._roll_window(cycle + 1)
+
     def _roll_window(self, next_start: int) -> None:
         if self._window_totals:
             self.windows.append((self._window_start, self._window_totals))

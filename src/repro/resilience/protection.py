@@ -74,6 +74,7 @@ class ResilienceController:
         # (due_cycle, seq, kind, request) retransmissions waiting out backoff.
         self._retransmit_heap: List[tuple] = []
         self._seq = count()
+        self._wake = None
         # DRAM re-reads ready for admission (drained by the memory NI).
         self.dram_retries: Deque[object] = deque()
         # In-recovery fault bookkeeping.
@@ -185,6 +186,37 @@ class ResilienceController:
         return heap[0][0] if heap else None
 
     # ------------------------------------------------------------------ #
+    # Event-dispatch contract
+    # ------------------------------------------------------------------ #
+
+    def attach_wake(self, wake) -> None:
+        self._wake = wake
+
+    def event_wake_at(self, cycle: int) -> Optional[int]:
+        """Rate-driven buffer flips draw per-cycle randomness, so they
+        force per-cycle ticking; otherwise the controller sleeps until the
+        next scheduled fault or due retransmission (new NACKs arm the
+        wake handle from :meth:`_nack`)."""
+        injector = self.injector
+        if injector.enabled and self.config.buffer_flip_rate > 0.0:
+            return cycle + 1
+        nxt = None
+        schedule = injector._schedule
+        pos = injector._schedule_pos
+        if pos < len(schedule):
+            nxt = schedule[pos].cycle
+            if nxt <= cycle:
+                nxt = cycle + 1
+        heap = self._retransmit_heap
+        if heap:
+            due = heap[0][0]
+            if due <= cycle:
+                due = cycle + 1
+            if nxt is None or due < nxt:
+                nxt = due
+        return nxt
+
+    # ------------------------------------------------------------------ #
     # CRC endpoints
     # ------------------------------------------------------------------ #
 
@@ -210,6 +242,9 @@ class ResilienceController:
             return
         due = cycle + self.config.backoff(pending.attempts)
         heapq.heappush(self._retransmit_heap, (due, next(self._seq), kind, request))
+        wake = self._wake
+        if wake is not None:
+            wake(due)  # NACKs arrive mid-cycle from the NI ticks
         self.crc_retries += 1
         tracer = self.tracer
         if tracer:

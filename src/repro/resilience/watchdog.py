@@ -52,6 +52,13 @@ class RequestWatchdog:
     def wake_at(self) -> None:
         return None
 
+    def event_wake_at(self, cycle: int) -> int:
+        """Self-arm every scan stride: under event dispatch a core NI can
+        sleep with reassembly outstanding (it is only woken by events), so
+        the watchdog cannot rely on anyone else keeping time for its
+        deadline checks — it ticks once per CHECK_INTERVAL regardless."""
+        return cycle + CHECK_INTERVAL - (cycle % CHECK_INTERVAL)
+
     def tick(self, cycle: int) -> None:
         if cycle % CHECK_INTERVAL != 0:
             return

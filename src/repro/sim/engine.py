@@ -1,4 +1,4 @@
-"""Cycle-driven simulation kernel with idle-aware dispatch.
+"""Cycle-driven simulation kernel with event-driven dispatch.
 
 The whole system (traffic generators, NoC routers, memory subsystem, SDRAM
 device) advances in lockstep, one memory-clock cycle at a time.  Components
@@ -6,43 +6,95 @@ implement the :class:`Clocked` protocol and are registered with a
 :class:`Simulator` in pipeline order (producers before consumers), which keeps
 single-cycle forwarding deterministic without a two-phase commit.
 
-Idle-aware dispatch
--------------------
+Dispatch tiers
+--------------
 
-Ticking every component every memory-clock cycle is wasteful in exactly the
-regime bandwidth-bound SoCs live in: most cycles, most of the fabric is
-quiescent.  Components may therefore opt into the **idle-skip contract**:
+The kernel picks the cheapest dispatch strategy the registered components
+support, in order:
+
+1. **Event dispatch** — when *every* component implements the event
+   contract (below), components are not polled at all: each one *arms* the
+   calendar wake-queue with the next cycle it needs to run, and reactive
+   components are woken by their upstream producers through wake handles.
+   Cycles on which nothing is armed are jumped over in one step.
+2. **Idle-skip stepping** — the legacy contract: every cycle, every
+   component is either ticked or skipped via a cheap ``is_idle`` probe,
+   and whole-system idle gaps fast-forward to the earliest ``wake_at``.
+   Any registered component without the event contract drops the whole
+   simulator to this tier (the documented escape hatch: a component only
+   needs ``tick`` to participate, it just costs per-cycle dispatch).
+3. **Naive stepping** (``idle_skip=False``) — tick everything every cycle.
+   This is the bit-exact reference the golden-identity suite compares the
+   other tiers against.
+
+Idle-skip contract (legacy / tier 2)
+------------------------------------
 
 * ``is_idle(cycle) -> bool`` — ``True`` iff ``tick(cycle)`` would be a
   provable no-op *and* the component stays a no-op every subsequent cycle
   until either an external input arrives (another component's tick) or its
   own ``wake_at()`` cycle is reached.  The simulator then skips the tick.
-  Because a skipped tick changes no state, skipping is bit-identical to
-  naive stepping by construction.
 * ``wake_at() -> Optional[int]`` — earliest future cycle at which the
-  component could become non-idle *on its own* (a traffic generator's next
-  issue, a refresh timer's next due cycle, a watchdog deadline).  ``None``
-  means purely reactive: only another component can wake it.
+  component could become non-idle *on its own*.  ``None`` means purely
+  reactive: only another component can wake it.
 * ``on_cycles_skipped(start, stop) -> None`` (optional) — account for the
   half-open cycle range ``[start, stop)`` the component was never ticked
-  for.  Used by per-cycle bookkeeping such as the SDRAM observed-cycle
-  counter, so fast-forwarding keeps utilization denominators exact.
+  for (per-cycle bookkeeping such as the SDRAM observed-cycle counter).
 
-When *every* registered component reports idle in the same cycle, the
-kernel **fast-forwards**: it jumps straight to the minimum ``wake_at()``
-(bounded by the run horizon) instead of stepping through the gap one cycle
-at a time.  Fast-forwarding is disabled while ``on_cycle`` hooks or a
-profiler are attached — those observe individual cycles — and per-component
-skipping is disabled under a profiler so attribution stays truthful.
+Event contract (tier 1)
+-----------------------
 
-Set ``idle_skip=False`` (or ``Simulator(idle_skip=False)``) to force naive
-exhaustive stepping; the golden regression tests run both kernels and
-require bit-identical metrics.
+* ``event_wake_at(cycle) -> Optional[int]`` — called right after every
+  ``tick(cycle)``; returns the next cycle this component needs to tick
+  *absent any external input* (``None`` = purely reactive until woken).
+  Unlike ``wake_at`` this is consulted while the component is busy, so it
+  can express fine-grained stalls ("nothing until the DRAM bus frees at
+  cycle N").  Returning a cycle ``<= cycle`` re-arms for ``cycle + 1``.
+* ``attach_wake(wake)`` (optional) — receives a wake handle the component
+  (or its producers) may call whenever its inputs change:
+  ``wake()`` arms the component as soon as the registration order allows —
+  *this* cycle if the caller runs earlier in registration order than the
+  target (the target has not been processed yet), the *next* cycle
+  otherwise.  That reproduces exactly the visibility rule of ordered
+  per-cycle stepping: an earlier-registered producer's output is seen the
+  same cycle, a later-registered producer's the next cycle.
+  ``wake(at)`` arms a specific future cycle (e.g. a scheduled deadline).
+* Arming is conservative by construction: a spurious wake only runs a
+  tick that naive stepping would have run as a state-gated no-op, so
+  extra wakes are always bit-identical.  Only a *missed* wake can diverge
+  — which is what the golden-identity and property suites hunt.
+* ``on_run_mode(event_dispatch)`` (optional) — notified at every
+  :meth:`Simulator.run` entry whether event dispatch is active, so
+  components can enable internal event-only shortcuts (e.g. router sleep
+  states) only when the reference kernels are not in use.
+
+Skip accounting works on both tiers: under event dispatch the kernel
+bulk-accounts each component's un-ticked gaps lazily (before its next tick
+and at run exit), so per-cycle denominators stay exact even when other
+components keep the cycle busy.
+
+Fast-forward inhibition
+-----------------------
+
+``on_cycle`` hooks observe individual cycles, so any hook forces tier 2/3
+stepping with fast-forward disabled.  A profiler forces tier-2 stepping
+only on legacy systems; on all-event systems it rides event dispatch and
+attributes exactly the ticks that actually ran.  Both cases are surfaced
+through the ``fast_forward_inhibited`` telemetry flag and a one-shot
+logged warning instead of silently degrading.
 """
 
 from __future__ import annotations
 
+import logging
+from bisect import insort
+from heapq import heappop, heappush
 from typing import Callable, List, Optional, Protocol, runtime_checkable
+
+logger = logging.getLogger(__name__)
+
+#: Sentinel wake cycle for "not armed" (far past any simulated horizon).
+_NEVER = 1 << 62
 
 
 @runtime_checkable
@@ -56,11 +108,15 @@ class Clocked(Protocol):
 class Simulator:
     """Fixed-order, cycle-driven simulator.
 
-    Components are ticked every cycle in registration order.  Registration
-    order therefore defines intra-cycle data-flow order: a component
-    registered earlier can hand data to a later component within the same
-    cycle, while the reverse incurs a one-cycle delay — exactly the
-    behaviour of registered (flip-flop separated) hardware pipelines.
+    Components are processed every cycle in registration order.
+    Registration order therefore defines intra-cycle data-flow order: a
+    component registered earlier can hand data to a later component within
+    the same cycle, while the reverse incurs a one-cycle delay — exactly
+    the behaviour of registered (flip-flop separated) hardware pipelines.
+    The event-dispatch wake queue preserves that order: due components are
+    run in registration order within each cycle, and a wake arriving
+    mid-cycle lands in the current cycle only if its target has not been
+    processed yet.
     """
 
     def __init__(self, idle_skip: bool = True) -> None:
@@ -73,8 +129,12 @@ class Simulator:
         # component does not implement the corresponding contract method.
         self._ticks: List[Callable[[int], None]] = []
         self._idle_checks: List[Optional[Callable[[int], bool]]] = []
-        self._wake_ats: List[Optional[Callable[[], Optional[int]]]] = []
         self._skip_accounts: List[Optional[Callable[[int, int], None]]] = []
+        # Legacy wake sources, compacted at registration: only components
+        # that actually implement wake_at are scanned on a fast-forward
+        # attempt (most components are purely reactive), instead of the
+        # old O(N)-over-everything probe.
+        self._wake_sources: List[Callable[[], Optional[int]]] = []
         # Per-cycle skip predicates: like _idle_checks, but None for
         # components with on_cycles_skipped — those keep per-cycle state
         # (e.g. observed-cycle counters) that only bulk fast-forward
@@ -83,8 +143,37 @@ class Simulator:
         # (check, tick) pairs, so the per-cycle dispatch loop iterates one
         # list without indexing into the parallel ones.
         self._step_pairs: List = []
-        #: Cycles elided by fast-forward (telemetry; counted in ``cycle``).
+        # --- event-dispatch state ---------------------------------------
+        self._event_wakes: List[Optional[Callable[[int], Optional[int]]]] = []
+        self._labels: List[str] = []
+        self._mode_hooks: List[Callable[[bool], None]] = []
+        self._all_event = True
+        #: Armed wake cycle per component (_NEVER = not armed); the heap
+        #: holds (cycle, index) entries validated lazily against it.
+        self._armed: List[int] = []
+        #: Per-component "already queued in the cycle being processed"
+        #: flag: the heap may hold several entries for one component (one
+        #: per re-arm), so collection dedups through this, not ``_armed``.
+        self._queued = bytearray()
+        self._heap: List = []
+        #: Indices due in the cycle currently being processed (sorted);
+        #: wake handles insort into it past the processing position.
+        self._ready: List[int] = []
+        #: Next cycle still unaccounted per component (skip accounting).
+        self._accounted: List[int] = []
+        self._now = -1        # cycle being processed (-1 = between cycles)
+        self._progress = -1   # index being processed within _now
+        self._event_live = False
+        #: Cycles elided by fast-forward or event-queue jumps (telemetry;
+        #: counted in ``cycle``).
         self.fast_forwarded_cycles = 0
+        #: True once a run had to disable fast-forward (hooks attached, or
+        #: a profiler on a non-event system) — see the one-shot warning.
+        self.fast_forward_inhibited = False
+        self._warned_inhibited = False
+        #: Dispatch tier of the most recent run(): "event", "stepped",
+        #: "naive" (introspection for tests and reports).
+        self.last_dispatch_mode: Optional[str] = None
 
     @property
     def cycle(self) -> int:
@@ -96,14 +185,17 @@ class Simulator:
         tick = getattr(component, "tick", None)
         if not callable(tick):
             raise TypeError(f"{component!r} does not implement tick()")
+        index = len(self._components)
         self._components.append(component)
         self._ticks.append(tick)
+        self._labels.append(type(component).__name__)
         is_idle = getattr(component, "is_idle", None)
         if not callable(is_idle):
             is_idle = None
         self._idle_checks.append(is_idle)
         wake_at = getattr(component, "wake_at", None)
-        self._wake_ats.append(wake_at if callable(wake_at) else None)
+        if callable(wake_at):
+            self._wake_sources.append(wake_at)
         skipped = getattr(component, "on_cycles_skipped", None)
         if not callable(skipped):
             skipped = None
@@ -119,6 +211,22 @@ class Simulator:
             step_check = is_idle
         self._step_idle_checks.append(step_check)
         self._step_pairs.append((step_check, tick))
+        # Event contract: event_wake_at makes the component event-capable;
+        # one legacy component in the system drops every run to stepping.
+        event_wake = getattr(component, "event_wake_at", None)
+        if not callable(event_wake):
+            event_wake = None
+            self._all_event = False
+        self._event_wakes.append(event_wake)
+        self._armed.append(_NEVER)
+        self._queued.append(0)
+        self._accounted.append(self._cycle)
+        attach = getattr(component, "attach_wake", None)
+        if callable(attach):
+            attach(self._make_wake(index))
+        mode_hook = getattr(component, "on_run_mode", None)
+        if callable(mode_hook):
+            self._mode_hooks.append(mode_hook)
         return component
 
     def add_all(self, components) -> None:
@@ -131,14 +239,57 @@ class Simulator:
         self._hooks.append(hook)
 
     def attach_profiler(self, profiler) -> None:
-        """Route every subsequent cycle through ``profiler.step`` (see
+        """Route every subsequent cycle through the profiler (see
         :class:`repro.obs.profiler.SimulatorProfiler`); ``None`` detaches.
-        The unprofiled dispatch loop is untouched when detached."""
+        The unprofiled dispatch loops are untouched when detached."""
         self._profiler = profiler
 
     @property
     def profiler(self):
         return self._profiler
+
+    # ------------------------------------------------------------------ #
+    # Wake handles
+    # ------------------------------------------------------------------ #
+
+    def _make_wake(self, index: int) -> Callable[..., None]:
+        """Build the wake handle for component ``index``.
+
+        ``wake()`` — arm as early as ordering allows (see module docs);
+        ``wake(at)`` — arm at the future cycle ``at``.
+        Handles are inert (cheap early return) outside event dispatch, so
+        producer-side hook calls cost one branch on the reference kernels.
+        """
+
+        def wake(at: Optional[int] = None) -> None:
+            if not self._event_live:
+                return
+            armed = self._armed
+            now = self._now
+            if now >= 0:
+                if at is None or at <= now:
+                    if index > self._progress:
+                        # Not yet processed this cycle: run it this cycle,
+                        # exactly as ordered stepping would.
+                        if not self._queued[index]:
+                            self._queued[index] = 1
+                            armed[index] = now
+                            insort(self._ready, index)
+                        return
+                    at = now + 1
+            else:
+                base = self._cycle
+                if at is None or at < base:
+                    at = base
+            if at < armed[index]:
+                armed[index] = at
+                heappush(self._heap, (at, index))
+
+        return wake
+
+    # ------------------------------------------------------------------ #
+    # Per-cycle stepping (tiers 2/3; also the manual step() entry point)
+    # ------------------------------------------------------------------ #
 
     def step(self) -> int:
         """Advance the system by exactly one cycle; return the new cycle count."""
@@ -160,7 +311,7 @@ class Simulator:
         return self._cycle
 
     # ------------------------------------------------------------------ #
-    # Fast-forward support
+    # Legacy fast-forward support
     # ------------------------------------------------------------------ #
 
     def _all_idle(self, cycle: int) -> bool:
@@ -171,12 +322,11 @@ class Simulator:
         return True
 
     def _next_wake(self) -> Optional[int]:
-        """Earliest self-wake cycle across components (None = fully
-        reactive system: with everything idle, nothing ever happens)."""
+        """Earliest self-wake cycle across the components that declare one
+        (``_wake_sources`` is compacted at registration, so purely
+        reactive components cost nothing here)."""
         earliest: Optional[int] = None
-        for wake in self._wake_ats:
-            if wake is None:
-                continue
+        for wake in self._wake_sources:
             candidate = wake()
             if candidate is None:
                 continue
@@ -203,16 +353,154 @@ class Simulator:
         self._cycle = target
         return True
 
+    # ------------------------------------------------------------------ #
+    # Event dispatch (tier 1)
+    # ------------------------------------------------------------------ #
+
+    def _event_run(self, end: int, until, profiler) -> None:
+        heap = self._heap
+        armed = self._armed
+        queued = self._queued
+        ready = self._ready
+        ticks = self._ticks
+        event_wakes = self._event_wakes
+        accounts = self._skip_accounts
+        accounted = self._accounted
+        labels = self._labels
+        # Arm everything for the entry cycle: external state may have
+        # changed between runs (drain flags, reconfiguration); the ticks
+        # are state-gated no-ops when nothing did.
+        entry = self._cycle
+        for index in range(len(ticks)):
+            armed[index] = entry
+            heappush(heap, (entry, index))
+        # Post-tick re-arms for exactly the next cycle — the dominant case
+        # while the system is busy — bypass the heap entirely: they land in
+        # ``carry`` and are consumed at the very next iteration.
+        carry: List[int] = []
+        while self._cycle < end:
+            if until is not None and until():
+                break
+            if carry:
+                cycle = self._cycle
+            else:
+                # Next validly armed cycle (lazy deletion of stale
+                # entries).
+                while heap:
+                    item = heap[0]
+                    if armed[item[1]] == item[0]:
+                        break
+                    heappop(heap)
+                nxt = heap[0][0] if heap else end
+                if nxt >= end:
+                    self.fast_forwarded_cycles += end - self._cycle
+                    self._cycle = end
+                    break
+                if nxt > self._cycle:
+                    self.fast_forwarded_cycles += nxt - self._cycle
+                    self._cycle = nxt
+                cycle = nxt
+            del ready[:]
+            for index in carry:
+                if armed[index] == cycle and not queued[index]:
+                    queued[index] = 1
+                    ready.append(index)
+            del carry[:]
+            while heap and heap[0][0] == cycle:
+                _, index = heappop(heap)
+                if armed[index] == cycle and not queued[index]:
+                    queued[index] = 1
+                    ready.append(index)
+            ready.sort()
+            self._now = cycle
+            pos = 0
+            while pos < len(ready):
+                index = ready[pos]
+                self._progress = index
+                queued[index] = 0
+                armed[index] = _NEVER
+                account = accounts[index]
+                if account is not None:
+                    start = accounted[index]
+                    if start < cycle:
+                        account(start, cycle)
+                    accounted[index] = cycle + 1
+                if profiler is None:
+                    ticks[index](cycle)
+                else:
+                    profiler.timed_tick(labels[index], ticks[index], cycle)
+                wake = event_wakes[index](cycle)
+                if wake is not None:
+                    if wake <= cycle:
+                        wake = cycle + 1
+                    if wake < armed[index]:
+                        armed[index] = wake
+                        if wake == cycle + 1:
+                            carry.append(index)
+                        else:
+                            heappush(heap, (wake, index))
+                pos += 1
+            self._now = -1
+            self._progress = -1
+            if profiler is not None:
+                profiler.end_cycle(cycle)
+            self._cycle = cycle + 1
+        # Flush skip accounting for components still asleep at run exit,
+        # so denominators cover the full horizon.
+        stop = self._cycle
+        for index, account in enumerate(accounts):
+            if account is not None:
+                start = accounted[index]
+                if start < stop:
+                    account(start, stop)
+                accounted[index] = stop
+
+    # ------------------------------------------------------------------ #
+
+    def _announce_mode(self, event_dispatch: bool) -> None:
+        for hook in self._mode_hooks:
+            hook(event_dispatch)
+
+    def _warn_inhibited(self, reason: str) -> None:
+        self.fast_forward_inhibited = True
+        if not self._warned_inhibited:
+            self._warned_inhibited = True
+            logger.warning(
+                "fast-forward disabled for this run (%s): every cycle "
+                "will be stepped individually", reason
+            )
+
     def run(self, cycles: int, until: Optional[Callable[[], bool]] = None) -> int:
         """Run for ``cycles`` cycles, or until ``until()`` becomes true.
 
-        ``until`` is evaluated *before* each step, so a predicate that is
-        already true at entry simulates zero cycles.  Returns the total
-        number of cycles simulated so far.
+        ``until`` is evaluated *before* each processed cycle, so a
+        predicate that is already true at entry simulates zero cycles.
+        Returns the total number of cycles simulated so far.
         """
         if cycles < 0:
             raise ValueError("cycles must be non-negative")
         end = self._cycle + cycles
+        event_ok = (
+            self.idle_skip and self._all_event and not self._hooks
+        )
+        if event_ok:
+            self.last_dispatch_mode = "event"
+            self._announce_mode(True)
+            self._event_live = True
+            try:
+                self._event_run(end, until, self._profiler)
+            finally:
+                self._event_live = False
+            return self._cycle
+        self.last_dispatch_mode = "stepped" if self.idle_skip else "naive"
+        self._announce_mode(False)
+        if self.idle_skip:
+            if self._hooks:
+                self._warn_inhibited("on_cycle hooks attached")
+            elif self._profiler is not None and not self._all_event:
+                self._warn_inhibited(
+                    "profiler attached to a non-event-capable system"
+                )
         fast_forward_ok = (
             self.idle_skip and self._profiler is None and not self._hooks
         )

@@ -205,6 +205,14 @@ class SyntheticCore:
         this cycle, so skipping it keeps the random stream bit-identical."""
         return self._next_issue_cycle
 
+    @property
+    def issue_blocked(self) -> bool:
+        """At the outstanding cap: :meth:`generate` is a strict no-op (the
+        cap check precedes every RNG draw) until a completion frees a
+        slot, so an event-dispatched NI can sleep instead of polling
+        ``next_issue_cycle`` (which deliberately ignores the cap)."""
+        return self._outstanding >= self.spec.max_outstanding
+
 
 # ---------------------------------------------------------------------- #
 # Core-type factories (Section III / V traffic classes)

@@ -48,6 +48,12 @@ class TraceRecorder:
         # would see the inner generator.
         return self.inner.next_issue_cycle
 
+    @property
+    def issue_blocked(self) -> bool:
+        # Same delegation contract as next_issue_cycle: AttributeError
+        # propagates, and the NI's getattr() default treats it as False.
+        return self.inner.issue_blocked
+
 
 class TraceReplayer:
     """TrafficGenerator that replays a recorded trace open-loop.
@@ -99,6 +105,15 @@ class TraceReplayer:
         if self._cursor >= len(self.entries):
             return None
         return self.entries[self._cursor].cycle
+
+    @property
+    def issue_blocked(self) -> bool:
+        """At the outstanding cap: generate() no-ops until a completion
+        arrives, so an event-dispatched NI need not poll the trace."""
+        return (
+            self.max_outstanding is not None
+            and self._outstanding >= self.max_outstanding
+        )
 
 
 def _copy_request(request: MemoryRequest) -> MemoryRequest:

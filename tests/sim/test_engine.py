@@ -219,3 +219,208 @@ def test_step_always_ticks_components_with_skip_accounting():
     sim.run(10)
     assert log == list(range(10))
     assert sleeper.skipped == []
+
+# ---------------------------------------------------------------------- #
+# Event dispatch (tier 1)
+# ---------------------------------------------------------------------- #
+
+from bisect import bisect_right
+
+from repro.obs.profiler import SimulatorProfiler
+
+
+class EventRecorder:
+    """Event-capable component: self-arms at its scheduled cycles."""
+
+    def __init__(self, log, name, schedule=()):
+        self.log = log
+        self.name = name
+        self.schedule = sorted(set(schedule))
+        self.skipped = []
+
+    def tick(self, cycle):
+        self.log.append((cycle, self.name))
+
+    def event_wake_at(self, cycle):
+        index = bisect_right(self.schedule, cycle)
+        return self.schedule[index] if index < len(self.schedule) else None
+
+    def on_cycles_skipped(self, start, stop):
+        self.skipped.append((start, stop))
+
+
+class Reactive:
+    """Purely reactive event component: only wakes through its handle."""
+
+    def __init__(self, log, name):
+        self.log = log
+        self.name = name
+        self.wake = None
+
+    def attach_wake(self, wake):
+        self.wake = wake
+
+    def tick(self, cycle):
+        self.log.append((cycle, self.name))
+
+    def event_wake_at(self, cycle):
+        return None
+
+
+class Firer(EventRecorder):
+    """Ticks on schedule and calls another component's wake handle."""
+
+    def __init__(self, log, name, schedule, fire_at, target, deadline=None):
+        super().__init__(log, name, schedule)
+        self.fire_at = fire_at
+        self.target = target
+        self.deadline = deadline
+
+    def tick(self, cycle):
+        super().tick(cycle)
+        if cycle == self.fire_at:
+            if self.deadline is None:
+                self.target.wake()
+            else:
+                self.target.wake(self.deadline)
+
+
+def test_event_dispatch_engages_when_all_components_are_event_capable():
+    log = []
+    sim = Simulator()
+    sim.add(EventRecorder(log, "a", schedule=[3]))
+    sim.add(EventRecorder(log, "b", schedule=[5]))
+    sim.run(10)
+    assert sim.last_dispatch_mode == "event"
+    # Run entry arms everything once; then only the scheduled cycles run.
+    assert log == [(0, "a"), (0, "b"), (3, "a"), (5, "b")]
+
+
+def test_event_dispatch_jumps_unarmed_gaps():
+    log = []
+    sim = Simulator()
+    sim.add(EventRecorder(log, "a", schedule=[5]))
+    sim.run(100)
+    assert sim.cycle == 100
+    assert [c for c, _ in log] == [0, 5]
+    assert sim.fast_forwarded_cycles == 98  # 1-4 and 6-99
+
+
+def test_one_legacy_component_drops_the_run_to_stepping():
+    log = []
+    sim = Simulator()
+    sim.add(EventRecorder(log, "event", schedule=[]))
+    sim.add(Recorder(log, "legacy"))
+    sim.run(5)
+    assert sim.last_dispatch_mode == "stepped"
+
+
+def test_event_wake_reaches_a_later_component_the_same_cycle():
+    log = []
+    sim = Simulator()
+    reactive = Reactive(log, "b")
+    sim.add(Firer(log, "a", schedule=[3], fire_at=3, target=reactive))
+    sim.add(reactive)
+    sim.run(10)
+    # b was woken by a's cycle-3 tick and, being registered later, ran the
+    # very same cycle — the ordered-stepping visibility rule.
+    assert log == [(0, "a"), (0, "b"), (3, "a"), (3, "b")]
+
+
+def test_event_wake_reaches_an_earlier_component_the_next_cycle():
+    log = []
+    sim = Simulator()
+    reactive = Reactive(log, "a")
+    sim.add(reactive)
+    sim.add(Firer(log, "b", schedule=[3], fire_at=3, target=reactive))
+    sim.run(10)
+    assert log == [(0, "a"), (0, "b"), (3, "b"), (4, "a")]
+
+
+def test_event_wake_with_deadline_arms_that_cycle():
+    log = []
+    sim = Simulator()
+    reactive = Reactive(log, "b")
+    sim.add(Firer(log, "a", schedule=[3], fire_at=3, target=reactive,
+                  deadline=50))
+    sim.add(reactive)
+    sim.run(100)
+    assert log == [(0, "a"), (0, "b"), (3, "a"), (50, "b")]
+
+
+def test_event_skip_accounting_covers_exactly_the_unticked_cycles():
+    log = []
+    sim = Simulator()
+    component = sim.add(EventRecorder(log, "a", schedule=[10, 20]))
+    sim.run(30)
+    assert [c for c, _ in log] == [0, 10, 20]
+    assert component.skipped == [(1, 10), (11, 20), (21, 30)]
+
+
+def test_event_until_predicate_checked_before_each_cycle():
+    log = []
+    sim = Simulator()
+    sim.add(EventRecorder(log, "a", schedule=list(range(1, 100))))
+    sim.run(100, until=lambda: len(log) >= 3)
+    assert sim.last_dispatch_mode == "event"
+    assert len(log) == 3
+
+
+def test_profiler_rides_event_dispatch_without_inhibition():
+    log = []
+    sim = Simulator()
+    sim.add(EventRecorder(log, "a", schedule=[2, 4]))
+    profiler = SimulatorProfiler()
+    sim.attach_profiler(profiler)
+    sim.run(10)
+    assert sim.last_dispatch_mode == "event"
+    assert sim.fast_forward_inhibited is False
+    # Only the cycles that actually processed ticks are attributed.
+    assert profiler.cycles_profiled == 3
+    assert profiler.totals.get("EventRecorder", 0) > 0
+
+
+def test_profiler_on_legacy_system_inhibits_fast_forward():
+    sim = Simulator()
+    sim.add(Sleeper([], wake=40))
+    sim.attach_profiler(SimulatorProfiler())
+    sim.run(10)
+    assert sim.last_dispatch_mode == "stepped"
+    assert sim.fast_forward_inhibited is True
+
+
+def test_cycle_hooks_inhibit_event_dispatch_and_set_telemetry():
+    log, hooks = [], []
+    sim = Simulator()
+    sim.add(EventRecorder(log, "a", schedule=[5]))
+    sim.on_cycle(hooks.append)
+    sim.run(10)
+    assert sim.last_dispatch_mode == "stepped"
+    assert sim.fast_forward_inhibited is True
+    assert hooks == list(range(10))
+
+
+def test_on_run_mode_announces_the_dispatch_tier():
+    calls = []
+
+    class Modal(EventRecorder):
+        def on_run_mode(self, event_dispatch):
+            calls.append(event_dispatch)
+
+    sim = Simulator()
+    sim.add(Modal([], "a"))
+    sim.run(5)
+    assert calls == [True]
+    sim.idle_skip = False
+    sim.run(5)
+    assert calls == [True, False]
+
+
+def test_event_rearm_every_cycle_ticks_continuously():
+    """The carry fast path (re-arm at cycle+1) must not skip or duplicate
+    cycles."""
+    log = []
+    sim = Simulator()
+    sim.add(EventRecorder(log, "a", schedule=list(range(1, 50))))
+    sim.run(50)
+    assert [c for c, _ in log] == list(range(50))

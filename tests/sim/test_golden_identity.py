@@ -82,3 +82,189 @@ def test_fast_forward_engages_on_drained_system():
     assert jumped > horizon * 0.9, (
         f"quiescent system stepped {horizon - jumped} of {horizon} cycles"
     )
+
+
+def _forced(mode: str, simulator) -> None:
+    """Pin ``simulator`` to one dispatch tier (see engine module docs)."""
+    if mode == "naive":
+        simulator.idle_skip = False
+    elif mode == "stepped":
+        simulator._all_event = False  # the legacy escape hatch
+    else:
+        assert mode == "event"
+
+
+def _run_mode(mode: str, design: NocDesign, faults) -> dict:
+    config = SystemConfig(
+        app="single_dtv", cycles=CYCLES, warmup=WARMUP,
+        design=design, seed=2010, faults=faults,
+    )
+    system = build_system(config)
+    _forced(mode, system.simulator)
+    metrics = system.run(CYCLES)
+    assert system.simulator.last_dispatch_mode == mode
+    return dataclasses.asdict(metrics)
+
+
+@pytest.mark.parametrize("mode", ["event", "stepped"])
+@pytest.mark.parametrize("design", [NocDesign.GSS_SAGM, NocDesign.CONV])
+def test_every_dispatch_tier_matches_naive(mode, design):
+    """Three-way golden identity: the event calendar queue and the stepped
+    idle-skip kernel must both reproduce naive stepping exactly."""
+    observed = _run_mode(mode, design, FAULTS)
+    naive = _run_mode("naive", design, FAULTS)
+    diffs = {
+        key: (observed[key], naive[key])
+        for key in observed
+        if observed[key] != naive[key]
+    }
+    assert not diffs, f"{mode} dispatch diverged from naive stepping: {diffs}"
+
+
+# ---------------------------------------------------------------------- #
+# Property-based identity: random wake/idle schedules (hypothesis)
+# ---------------------------------------------------------------------- #
+
+hypothesis = pytest.importorskip("hypothesis")
+from bisect import bisect_right
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Simulator
+
+HORIZON = 260
+
+
+class PropSource:
+    """Emits one item per scheduled cycle, gated by a token credit the
+    sink hands back — a closed loop across the registration order."""
+
+    def __init__(self, schedule, tokens):
+        self.schedule = sorted(set(schedule))
+        self.tokens = tokens
+        self.consumer = None
+        self.log = []
+        self._wake = None
+
+    def attach_wake(self, wake):
+        self._wake = wake
+
+    def credit(self):
+        """Called by the sink (registered later): visible next cycle."""
+        self.tokens += 1
+        if self._wake is not None:
+            self._wake()
+
+    def tick(self, cycle):
+        if cycle in self.schedule and self.tokens > 0:
+            self.tokens -= 1
+            self.log.append(cycle)
+            self.consumer.push(cycle, ("item", cycle))
+
+    def event_wake_at(self, cycle):
+        index = bisect_right(self.schedule, cycle)
+        return self.schedule[index] if index < len(self.schedule) else None
+
+
+class PropRelay:
+    """Holds each item for a fixed delay, then forwards it downstream."""
+
+    def __init__(self, delay):
+        self.delay = delay
+        self.pending = []
+        self.consumer = None
+        self.log = []
+        self._wake = None
+
+    def attach_wake(self, wake):
+        self._wake = wake
+
+    def push(self, cycle, item):
+        due = cycle + self.delay
+        self.pending.append((due, item))
+        if self._wake is not None:
+            self._wake(due if self.delay else None)
+
+    def tick(self, cycle):
+        due_now = [entry for entry in self.pending if entry[0] <= cycle]
+        if not due_now:
+            return
+        self.pending = [entry for entry in self.pending if entry[0] > cycle]
+        for _, item in due_now:
+            self.log.append((cycle, item))
+            self.consumer.push(cycle, item)
+
+    def event_wake_at(self, cycle):
+        if not self.pending:
+            return None
+        return min(due for due, _ in self.pending)
+
+
+class PropSink:
+    """Consumes everything pushed at it and returns the token upstream."""
+
+    def __init__(self, source):
+        self.source = source
+        self.queue = []
+        self.log = []
+        self._wake = None
+
+    def attach_wake(self, wake):
+        self._wake = wake
+
+    def push(self, cycle, item):
+        self.queue.append(item)
+        if self._wake is not None:
+            self._wake()
+
+    def tick(self, cycle):
+        if not self.queue:
+            return
+        for item in self.queue:
+            self.log.append((cycle, item))
+            self.source.credit()
+        self.queue = []
+
+    def event_wake_at(self, cycle):
+        return cycle + 1 if self.queue else None
+
+
+def _build_chain(schedule, tokens, delay):
+    source = PropSource(schedule, tokens)
+    relay = PropRelay(delay)
+    sink = PropSink(source)
+    source.consumer = relay
+    relay.consumer = sink
+    sim = Simulator()
+    sim.add(source)
+    sim.add(relay)
+    sim.add(sink)
+    return sim, source, relay, sink
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    schedule=st.lists(
+        st.integers(min_value=0, max_value=HORIZON - 10), max_size=40
+    ),
+    tokens=st.integers(min_value=0, max_value=6),
+    delay=st.integers(min_value=0, max_value=7),
+)
+def test_random_schedules_event_identical_to_naive(schedule, tokens, delay):
+    """Any random wake/idle schedule must produce cycle-identical logs
+    under event dispatch and naive stepping — a missed or misordered wake
+    shows up as a shifted emission, relay, or credit cycle."""
+    event_sim, esrc, erelay, esink = _build_chain(schedule, tokens, delay)
+    event_sim.run(HORIZON)
+    assert event_sim.last_dispatch_mode == "event"
+
+    naive_sim, nsrc, nrelay, nsink = _build_chain(schedule, tokens, delay)
+    naive_sim.idle_skip = False
+    naive_sim.run(HORIZON)
+    assert naive_sim.last_dispatch_mode == "naive"
+
+    assert esrc.log == nsrc.log
+    assert erelay.log == nrelay.log
+    assert esink.log == nsink.log
+    assert esrc.tokens == nsrc.tokens
+    assert erelay.pending == nrelay.pending
