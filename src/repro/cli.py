@@ -66,6 +66,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--percentiles", action="store_true",
         help="also report p50/p95/p99 latency (keeps per-request samples)",
     )
+    run.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="stream newline-JSON telemetry (run manifest, periodic "
+        "samples, end-of-run summary) to PATH; watch live with "
+        "`repro monitor PATH --follow`",
+    )
+    run.add_argument(
+        "--sample-interval", type=int, default=1_000, metavar="CYCLES",
+        help="cycles per telemetry sample window (default: 1000)",
+    )
+    run.add_argument(
+        "--prom", metavar="PATH", default=None,
+        help="after the run, write the metrics registry as a "
+        "Prometheus text-format snapshot",
+    )
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="render a telemetry stream: a final snapshot by default, "
+        "a live updating view with --follow",
+    )
+    monitor.add_argument(
+        "stream", help="telemetry ndjson path (written by --telemetry)"
+    )
+    monitor.add_argument(
+        "-f", "--follow", action="store_true",
+        help="tail the stream and redraw until the run/sweep finishes",
+    )
+    monitor.add_argument(
+        "--once", action="store_true",
+        help="parse the whole stream once and render one snapshot "
+        "(exit 1 if it holds no records) — the CI parse check",
+    )
+    monitor.add_argument(
+        "--refresh", type=float, default=1.0, metavar="SECONDS",
+        help="redraw period with --follow (default: 1.0)",
+    )
+    monitor.add_argument(
+        "--max-seconds", type=float, default=None, metavar="SECONDS",
+        help="give up following after this long",
+    )
 
     faults = sub.add_parser(
         "faults",
@@ -231,6 +272,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-regression", type=float, default=0.2,
         help="allowed calibration-scaled cycles/sec drop (default 0.2)",
     )
+    bench_cmd.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="stream one bench_round record per timed repetition to PATH",
+    )
 
     return parser
 
@@ -272,7 +317,13 @@ def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--quiet", action="store_true",
-        help="suppress per-job progress lines on stderr",
+        help="suppress the stderr progress line",
+    )
+    parser.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="stream sweep lifecycle telemetry (job events, worker "
+        "heartbeats, progress/ETA) to PATH; watch live with "
+        "`repro monitor PATH --follow`",
     )
 
 
@@ -352,8 +403,29 @@ def _seeds(args) -> dict:
 
 def _cmd_run(args) -> None:
     config = _config_from(args)
+    telemetry_path = getattr(args, "telemetry", None)
     started = time.time()
-    system = build_system(config, keep_samples=args.percentiles)
+    # Telemetry keeps per-request samples so sample windows carry real
+    # p50/p95/p99 — sample retention never perturbs simulated metrics.
+    system = build_system(
+        config,
+        keep_samples=(
+            args.percentiles
+            or telemetry_path is not None
+            or getattr(args, "prom", None) is not None
+        ),
+    )
+    writer = None
+    if telemetry_path is not None:
+        from .obs.stream import TelemetryWriter, run_manifest
+
+        if args.sample_interval < 1:
+            raise SystemExit("--sample-interval must be >= 1")
+        writer = TelemetryWriter(telemetry_path)
+        writer.emit(
+            "run_start", **run_manifest(config, args.sample_interval)
+        )
+        system.attach_sampler(args.sample_interval, on_sample=writer.sample)
     metrics = system.run()
     elapsed = time.time() - started
     print(f"configuration : {config.label}")
@@ -396,6 +468,31 @@ def _cmd_run(args) -> None:
         if not quiesced:
             print("WARNING       : system did not drain to quiescence",
                   file=sys.stderr)
+    if writer is not None:
+        from dataclasses import asdict
+
+        writer.emit(
+            "run_end", label=config.label, wall_s=elapsed, **asdict(metrics)
+        )
+        writer.close()
+        print(
+            f"telemetry     : {telemetry_path} "
+            f"({writer.records_written} records)"
+        )
+    if getattr(args, "prom", None):
+        from .obs.stream import prometheus_exposition
+
+        registry = system.collect_metrics()
+        for name, series in (
+            ("latency.all", system.stats.all_packets),
+            ("latency.demand", system.stats.demand_packets),
+        ):
+            histogram = registry.histogram(name)
+            for value in series.samples:
+                histogram.record(value)
+        with open(args.prom, "w", encoding="utf-8") as handle:
+            handle.write(prometheus_exposition(registry))
+        print(f"prometheus    : {args.prom} ({len(registry)} metrics)")
 
 
 def _cmd_trace(args) -> None:
@@ -466,15 +563,29 @@ def _cmd_bench(args) -> int:
         kwargs["cycles"] = args.cycles
     if args.reps is not None:
         kwargs["reps"] = args.reps
-    point = bench.run_benchmarks(**kwargs)
+    telemetry = None
+    if getattr(args, "telemetry", None):
+        from .obs.stream import TelemetryWriter
+
+        telemetry = TelemetryWriter(args.telemetry)
+    try:
+        point = bench.run_benchmarks(telemetry=telemetry, **kwargs)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     print(bench.render(point))
     if args.json:
         bench.write_trajectory(args.json, point)
         print(f"wrote {args.json}")
     if args.check:
-        recorded = bench.load_trajectory(args.check)["current"]
+        document = bench.load_trajectory(args.check)
+        for warning in bench.host_mismatch(document.get("host")):
+            print(
+                f"WARNING cross-host comparison — {warning}",
+                file=sys.stderr,
+            )
         failures = bench.check_regression(
-            recorded, point, max_regression=args.max_regression
+            document["current"], point, max_regression=args.max_regression
         )
         for failure in failures:
             print(f"REGRESSION {failure}")
@@ -535,20 +646,6 @@ def _parse_assignment(text: str, multi: bool):
     return field, _grid_value(field, raw)
 
 
-def _sweep_progress(job, record, cached, done, total):
-    if cached:
-        status = "hit"
-    elif record.get("status") == "ok":
-        status = "ok"
-    else:
-        status = "FAIL"
-    elapsed = record.get("elapsed_s") or 0.0
-    print(
-        f"[{done:>4d}/{total}] {status:<4s} {job.label} ({elapsed:.2f}s)",
-        file=sys.stderr,
-    )
-
-
 def _sweep_document(report) -> dict:
     return {
         "summary": {
@@ -591,6 +688,7 @@ def _cmd_sweep(args) -> int:
     from .experiments import fault_sweep as fault_sweep_mod
     from .experiments.fig8 import render as render_fig8
     from .sweep import (
+        ProgressPrinter,
         ResultStore,
         config_grid_spec,
         fault_points,
@@ -601,13 +699,36 @@ def _cmd_sweep(args) -> int:
     )
 
     store = ResultStore(args.store)
-    run_kwargs = dict(
-        store=store,
-        workers=args.jobs,
-        use_cache=not args.no_cache,
-        retry_failed=args.retry_failed,
-        progress=None if args.quiet else _sweep_progress,
-    )
+    progress = None if args.quiet else ProgressPrinter()
+    telemetry = None
+    if getattr(args, "telemetry", None):
+        from .obs.stream import TelemetryWriter
+
+        telemetry = TelemetryWriter(args.telemetry)
+
+    def run_jobs(jobs):
+        # One close point: terminate the tty progress line (and the
+        # stream) before any table lands on stdout.
+        try:
+            return run_sweep(
+                jobs,
+                store=store,
+                workers=args.jobs,
+                use_cache=not args.no_cache,
+                retry_failed=args.retry_failed,
+                progress=progress,
+                telemetry=telemetry,
+            )
+        finally:
+            if progress is not None:
+                progress.close()
+            if telemetry is not None:
+                telemetry.close()
+                print(
+                    f"telemetry: {args.telemetry} "
+                    f"({telemetry.records_written} records)",
+                    file=sys.stderr,
+                )
 
     if args.grid == "fault":
         kwargs = dict(seeds=tuple(args.seeds), app=args.app)
@@ -620,7 +741,7 @@ def _cmd_sweep(args) -> int:
         if args.drain_cycles is not None:
             kwargs["drain_cycles"] = args.drain_cycles
         spec = fault_sweep_spec(**kwargs)
-        report = run_sweep(spec, **run_kwargs)
+        report = run_jobs(spec)
         if args.format == "json":
             print(json.dumps(_sweep_document(report), indent=1))
         else:
@@ -640,7 +761,7 @@ def _cmd_sweep(args) -> int:
             kwargs["seeds"] = tuple(args.seeds)
         if args.max_routers is not None:
             kwargs["max_routers"] = args.max_routers
-        report = run_sweep(fig8_jobs(**kwargs), **run_kwargs)
+        report = run_jobs(fig8_jobs(**kwargs))
         if args.format == "json":
             print(json.dumps(_sweep_document(report), indent=1))
         else:
@@ -663,7 +784,7 @@ def _cmd_sweep(args) -> int:
             base, axes, replicates=args.replicates,
             root_seed=args.root_seed, name=args.name,
         )
-        report = run_sweep(spec, **run_kwargs)
+        report = run_jobs(spec)
         if args.format == "json":
             print(json.dumps(_sweep_document(report), indent=1))
         else:
@@ -753,6 +874,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"wrote {args.output}")
     elif args.command == "bench":
         return _cmd_bench(args)
+    elif args.command == "monitor":
+        from .obs.monitor import run_monitor
+
+        return run_monitor(
+            args.stream,
+            follow=args.follow,
+            once=args.once,
+            refresh_s=args.refresh,
+            max_seconds=args.max_seconds,
+        )
     elif args.command == "sweep":
         return _cmd_sweep(args)
     elif args.command == "all":

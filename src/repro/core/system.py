@@ -147,6 +147,9 @@ class SocSystem:
                 self.resilience, self.core_interfaces, config.faults
             )
             self.simulator.add(self.watchdog)
+        #: Attached by :meth:`attach_sampler`; None = zero sampling code
+        #: anywhere near the hot path.
+        self.sampler = None
         self.invariant_checker = None
         if config.check_invariants:
             from ..resilience.invariants import InvariantChecker
@@ -278,6 +281,39 @@ class SocSystem:
     # ------------------------------------------------------------------ #
     # Observability
     # ------------------------------------------------------------------ #
+
+    def attach_sampler(
+        self,
+        interval: int,
+        capacity: int = 512,
+        on_sample=None,
+        clock=None,
+    ):
+        """Attach a live time-series sampler (see
+        :mod:`repro.obs.timeseries`): every ``interval`` cycles the
+        system's counters are snapshotted into ring-buffered windows and
+        handed to ``on_sample`` (a telemetry stream writer, usually).
+
+        The sampler registers *last* on the simulator so each sample
+        observes end-of-cycle state, and it speaks the event-dispatch
+        contract, so an all-event system stays on the event tier.  It
+        only reads counters: enabling it at any interval leaves every
+        simulated metric bit-identical.  Lazily imported — a system that
+        never attaches one carries no sampling code at all.
+        """
+        if self.sampler is not None:
+            raise RuntimeError("a sampler is already attached")
+        from ..obs.timeseries import SystemSampleSource, TimeSeriesSampler
+
+        self.sampler = TimeSeriesSampler(
+            SystemSampleSource(self),
+            interval,
+            capacity=capacity,
+            on_sample=on_sample,
+            clock=clock,
+        )
+        self.simulator.add(self.sampler)
+        return self.sampler
 
     def collect_metrics(self):
         """Snapshot the whole system's counters into one registry.

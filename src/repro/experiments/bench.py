@@ -56,15 +56,23 @@ class BenchResult:
     cycles_per_second: float
 
 
-def _best_of(work: Callable[[], float], reps: int, warmup_reps: int) -> float:
+def _best_of(
+    work: Callable[[], float],
+    reps: int,
+    warmup_reps: int,
+    on_rep: Optional[Callable[[int, float, bool], None]] = None,
+) -> float:
     """Run ``work`` (returns elapsed seconds) ``reps`` times; discard the
     first ``warmup_reps`` (allocator, bytecode, and CPU-frequency warm-up)
-    and return the minimum of the rest."""
+    and return the minimum of the rest.  ``on_rep(rep, elapsed, warmup)``
+    observes every repetition — the telemetry hook."""
     if reps <= warmup_reps:
         raise ValueError("need at least one measured repetition")
     best: Optional[float] = None
     for rep in range(reps):
         elapsed = work()
+        if on_rep is not None:
+            on_rep(rep, elapsed, rep < warmup_reps)
         if rep < warmup_reps:
             continue
         if best is None or elapsed < best:
@@ -119,6 +127,7 @@ def bench_full_system(
     cycles: int = DEFAULT_CYCLES,
     reps: int = DEFAULT_REPS,
     warmup_reps: int = DEFAULT_WARMUP_REPS,
+    on_rep: Optional[Callable[[int, float, bool], None]] = None,
 ) -> BenchResult:
     """Simulated cycles/second of a freshly built full system."""
     from ..core.system import build_system
@@ -131,7 +140,7 @@ def bench_full_system(
         system.simulator.run(cycles)
         return time.perf_counter() - start
 
-    best = _best_of(work, reps, warmup_reps)
+    best = _best_of(work, reps, warmup_reps, on_rep)
     name = f"full_system_{design.value.replace('+', '_')}"
     return BenchResult(name, cycles, best, cycles / best)
 
@@ -141,6 +150,7 @@ def bench_dram_engine(
     requests: int = 2_048,
     reps: int = DEFAULT_REPS,
     warmup_reps: int = DEFAULT_WARMUP_REPS,
+    on_rep: Optional[Callable[[int, float, bool], None]] = None,
 ) -> BenchResult:
     """CommandEngine + SdramDevice alone (no NoC in the loop)."""
     from ..dram.controller import CommandEngine
@@ -175,27 +185,55 @@ def bench_dram_engine(
         executed[0] = cycle
         return time.perf_counter() - start
 
-    best = _best_of(work, reps, warmup_reps)
+    best = _best_of(work, reps, warmup_reps, on_rep)
     return BenchResult("dram_engine", executed[0], best, executed[0] / best)
+
+
+def _round_publisher(telemetry, name: str):
+    """An ``on_rep`` hook emitting one ``bench_round`` record per timed
+    repetition into a telemetry stream (None telemetry = no hook)."""
+    if telemetry is None:
+        return None
+
+    def on_rep(rep: int, elapsed: float, warmup: bool) -> None:
+        telemetry.emit(
+            "bench_round", bench=name, rep=rep,
+            wall_s=elapsed, warmup=warmup,
+        )
+
+    return on_rep
 
 
 def run_benchmarks(
     cycles: int = DEFAULT_CYCLES,
     reps: int = DEFAULT_REPS,
     warmup_reps: int = DEFAULT_WARMUP_REPS,
+    telemetry=None,
 ) -> Dict[str, object]:
-    """Run the standing benchmark set; returns the trajectory-point dict."""
+    """Run the standing benchmark set; returns the trajectory-point dict.
+
+    ``telemetry`` (a :class:`~repro.obs.stream.TelemetryWriter`) gets one
+    ``bench_round`` record per repetition, so a monitor shows benchmark
+    progress live instead of staring at a silent multi-second run.
+    """
     # Calibrate before *and* after the timed benchmarks and keep the
     # faster score: CPU-frequency regimes shift between the two, and an
     # underestimated machine speed only makes a regression check lenient,
     # while an overestimate would fail it spuriously.
     calibration = calibrate()
     results = [
-        bench_full_system(NocDesign.GSS_SAGM, "single_dtv", cycles,
-                          reps, warmup_reps),
-        bench_full_system(NocDesign.CONV, "dual_dtv", cycles,
-                          reps, warmup_reps),
-        bench_dram_engine(reps=reps, warmup_reps=warmup_reps),
+        bench_full_system(
+            NocDesign.GSS_SAGM, "single_dtv", cycles, reps, warmup_reps,
+            on_rep=_round_publisher(telemetry, "full_system_gss_sagm"),
+        ),
+        bench_full_system(
+            NocDesign.CONV, "dual_dtv", cycles, reps, warmup_reps,
+            on_rep=_round_publisher(telemetry, "full_system_conv"),
+        ),
+        bench_dram_engine(
+            reps=reps, warmup_reps=warmup_reps,
+            on_rep=_round_publisher(telemetry, "dram_engine"),
+        ),
     ]
     calibration = max(calibration, calibrate())
     point: Dict[str, object] = {
@@ -228,6 +266,8 @@ def write_trajectory(
     """Write a trajectory file containing the recorded ``baseline`` (the
     measurement this PR started from) and the ``current`` point, plus the
     calibration-scaled speedups between them."""
+    from ..obs.stream import host_manifest
+
     document: Dict[str, object] = {
         "bench": TRAJECTORY_FILE.rsplit(".", 1)[0],
         "schema": 1,
@@ -237,6 +277,10 @@ def write_trajectory(
             "warmup_reps": DEFAULT_WARMUP_REPS,
             "estimator": "min over measured reps",
         },
+        # Who measured: calibration scaling absorbs speed differences,
+        # but python/numpy/host changes shift the *shape* of the work —
+        # host_mismatch() flags those when comparing trajectories.
+        "host": host_manifest(),
         "current": current,
     }
     if baseline is not None:
@@ -270,6 +314,37 @@ def _speedups(
         base_cps = float(base_entry["cycles_per_second"])
         out[name] = float(entry["cycles_per_second"]) / base_cps
     return out
+
+
+#: Host-manifest fields whose change makes raw trajectory comparison
+#: suspect even after calibration scaling (numpy toggles vectorized
+#: paths on/off; interpreter and host shift the bytecode-vs-simulation
+#: cost mix).
+_HOST_COMPARE_FIELDS = ("python", "implementation", "numpy", "hostname")
+
+
+def host_mismatch(
+    recorded: Optional[Dict[str, object]],
+    observed: Optional[Dict[str, object]] = None,
+) -> List[str]:
+    """Fields on which two host manifests disagree, as warning strings.
+
+    ``observed=None`` compares against this process's own manifest.  A
+    recorded trajectory without a host manifest (pre-schema files)
+    produces no warnings — absence is not a mismatch.
+    """
+    if not recorded:
+        return []
+    if observed is None:
+        from ..obs.stream import host_manifest
+
+        observed = host_manifest()
+    warnings: List[str] = []
+    for field in _HOST_COMPARE_FIELDS:
+        before, after = recorded.get(field), observed.get(field)
+        if before is not None and after is not None and before != after:
+            warnings.append(f"{field}: recorded on {before!r}, now {after!r}")
+    return warnings
 
 
 def machine_scale(

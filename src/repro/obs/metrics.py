@@ -138,6 +138,22 @@ class MetricsRegistry:
     def as_dict(self) -> Dict[str, Union[float, Dict[str, float]]]:
         """Flat snapshot: scalars for counters/gauges, summaries for
         histograms — the JSON-export form."""
+        return self.snapshot()
+
+    def snapshot(self) -> Dict[str, Union[float, Dict[str, float]]]:
+        """Deterministic flat snapshot of the whole namespace.
+
+        Key order is guaranteed: metric names sorted lexicographically,
+        histogram summary fields in a fixed order — so ``json.dumps``
+        of two snapshots of identical state is byte-identical no matter
+        what order the metrics were registered or updated in.  JSONL
+        telemetry, the Prometheus exposition, and the exporters all
+        build on this guarantee, which is what lets stream and export
+        output diff cleanly across runs.
+
+        Histograms additionally report p50/p95/p99 when raw samples
+        were kept.
+        """
         snapshot: Dict[str, Union[float, Dict[str, float]]] = {}
         for name in self.names():
             metric = self._metrics[name]
@@ -149,6 +165,10 @@ class MetricsRegistry:
                 if metric.count:
                     summary["min"] = float(metric.minimum)  # type: ignore[arg-type]
                     summary["max"] = float(metric.maximum)  # type: ignore[arg-type]
+                if metric.samples:
+                    summary["p50"] = metric.percentile(50)
+                    summary["p95"] = metric.percentile(95)
+                    summary["p99"] = metric.percentile(99)
                 snapshot[name] = summary
             else:
                 snapshot[name] = metric.value

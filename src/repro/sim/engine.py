@@ -67,6 +67,13 @@ Event contract (tier 1)
   :meth:`Simulator.run` entry whether event dispatch is active, so
   components can enable internal event-only shortcuts (e.g. router sleep
   states) only when the reference kernels are not in use.
+* ``on_run_start(cycle)`` / ``on_run_end(cycle)`` (optional) — run
+  brackets: called at every :meth:`Simulator.run` entry and exit (exit
+  fires even when the run raises).  This is how observation components —
+  the telemetry sampler above all — flush partial state at run
+  boundaries without the system layer having to know about them: the
+  sampler is just another registered component, armed on the wake queue
+  like everything else.
 
 Skip accounting works on both tiers: under event dispatch the kernel
 bulk-accounts each component's un-ticked gaps lazily (before its next tick
@@ -147,6 +154,8 @@ class Simulator:
         self._event_wakes: List[Optional[Callable[[int], Optional[int]]]] = []
         self._labels: List[str] = []
         self._mode_hooks: List[Callable[[bool], None]] = []
+        self._run_starts: List[Callable[[int], None]] = []
+        self._run_ends: List[Callable[[int], None]] = []
         self._all_event = True
         #: Armed wake cycle per component (_NEVER = not armed); the heap
         #: holds (cycle, index) entries validated lazily against it.
@@ -227,6 +236,12 @@ class Simulator:
         mode_hook = getattr(component, "on_run_mode", None)
         if callable(mode_hook):
             self._mode_hooks.append(mode_hook)
+        run_start = getattr(component, "on_run_start", None)
+        if callable(run_start):
+            self._run_starts.append(run_start)
+        run_end = getattr(component, "on_run_end", None)
+        if callable(run_end):
+            self._run_ends.append(run_end)
         return component
 
     def add_all(self, components) -> None:
@@ -479,6 +494,15 @@ class Simulator:
         """
         if cycles < 0:
             raise ValueError("cycles must be non-negative")
+        for run_start in self._run_starts:
+            run_start(self._cycle)
+        try:
+            return self._run(cycles, until)
+        finally:
+            for run_end in self._run_ends:
+                run_end(self._cycle)
+
+    def _run(self, cycles: int, until: Optional[Callable[[], bool]]) -> int:
         end = self._cycle + cycles
         event_ok = (
             self.idle_skip and self._all_event and not self._hooks

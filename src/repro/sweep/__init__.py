@@ -21,7 +21,13 @@ from .grids import (
     run_fault_sweep_grid,
     run_fig8_grid,
 )
-from .orchestrator import JobOutcome, SweepReport, execute_job, run_sweep
+from .orchestrator import (
+    JobOutcome,
+    ProgressPrinter,
+    SweepReport,
+    execute_job,
+    run_sweep,
+)
 from .runners import (
     JOB_RUNNERS,
     JobFailure,
@@ -38,6 +44,7 @@ __all__ = [
     "Job",
     "JobFailure",
     "JobOutcome",
+    "ProgressPrinter",
     "ResultStore",
     "SCHEMA_VERSION",
     "SweepReport",

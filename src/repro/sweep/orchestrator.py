@@ -22,18 +22,45 @@ Failure containment is per point, never per sweep:
 Workers are forked where available (Linux/macOS ``fork`` context) so
 runner registrations made by the parent are visible without re-import;
 pass ``mp_context`` to override.
+
+Liveness has two optional surfaces, both off by default:
+
+* ``telemetry=`` (a :class:`~repro.obs.stream.TelemetryWriter`) streams
+  the sweep lifecycle — ``sweep_start``, per-job ``job_start`` /
+  ``job_done`` / ``job_fail`` / ``job_hit``, per-worker ``heartbeat``
+  records written by the worker processes themselves, rolling
+  ``sweep_progress`` with throughput and ETA, and a closing
+  ``sweep_end`` — for ``repro monitor`` to render live;
+* :class:`ProgressPrinter` is a ready-made :data:`ProgressFn` that keeps
+  a single updating stderr line (done/total, failures, cache hits, ETA)
+  on a tty and degrades to sparse plain lines when piped.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    TextIO,
+    Union,
+)
 
-from .runners import JOB_RUNNERS, JobFailure
+from .runners import (
+    JOB_RUNNERS,
+    JobFailure,
+    worker_job_finished,
+    worker_job_started,
+)
 from .spec import Job, SweepSpec, dedupe
 from .store import ResultStore, make_record
 
@@ -41,12 +68,23 @@ from .store import ResultStore, make_record
 ProgressFn = Callable[[Job, Mapping[str, object], bool, int, int], None]
 
 
-def execute_job(kind: str, params: Dict[str, object]) -> Dict[str, object]:
+def execute_job(
+    kind: str,
+    params: Dict[str, object],
+    telemetry_path: Optional[str] = None,
+    key: Optional[str] = None,
+    label: Optional[str] = None,
+) -> Dict[str, object]:
     """Run one job in the current process; never raises.
 
     The worker-side entry point: every failure mode is folded into the
     returned payload so a Python-level error can never poison the pool.
+    With ``telemetry_path`` set, the worker itself appends ``job_start``
+    and ``heartbeat`` records to the stream (line-atomic ``O_APPEND``
+    writes), so a monitor sees jobs as workers pick them up.
     """
+    if telemetry_path is not None:
+        worker_job_started(telemetry_path, key or "", kind, label or "")
     started = time.perf_counter()
     try:
         runner = JOB_RUNNERS.get(kind)
@@ -56,26 +94,31 @@ def execute_job(kind: str, params: Dict[str, object]) -> Dict[str, object]:
                 f"registered: {sorted(JOB_RUNNERS)}"
             )
         result = runner(params)
-        return {
+        payload = {
             "status": "ok",
             "result": dict(result),
             "error": None,
             "elapsed_s": time.perf_counter() - started,
         }
     except JobFailure as failure:
-        return {
+        payload = {
             "status": "failed",
             "result": failure.result,
             "error": failure.error,
             "elapsed_s": time.perf_counter() - started,
         }
     except Exception as exc:  # noqa: BLE001 - boundary: fold into record
-        return {
+        payload = {
             "status": "failed",
             "result": None,
             "error": f"{type(exc).__name__}: {exc}",
             "elapsed_s": time.perf_counter() - started,
         }
+    if telemetry_path is not None:
+        worker_job_finished(
+            telemetry_path, key or "", label or "", str(payload["status"])
+        )
+    return payload
 
 
 @dataclass(frozen=True)
@@ -134,6 +177,79 @@ class SweepReport:
         )
 
 
+class ProgressPrinter:
+    """Single updating progress line: done/total, failures, hits, ETA.
+
+    A :data:`ProgressFn` for long grids.  On a tty the line redraws in
+    place (``\\r``); piped to a file it prints at most ~10 milestone
+    lines so logs stay readable.  Call :meth:`close` (or use the CLI,
+    which does) to terminate the tty line with a newline.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self._isatty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._started = time.perf_counter()
+        self._executed = 0
+        self._failed = 0
+        self._hits = 0
+        self._open_line = False
+
+    def __call__(
+        self,
+        job: Job,
+        record: Mapping[str, object],
+        cached: bool,
+        done: int,
+        total: int,
+    ) -> None:
+        if cached:
+            self._hits += 1
+        else:
+            self._executed += 1
+        if record.get("status") != "ok":
+            self._failed += 1
+        if self._isatty or done == total or self._milestone(done, total):
+            self._render(done, total)
+
+    def _milestone(self, done: int, total: int) -> bool:
+        step = max(1, total // 10)
+        return done % step == 0
+
+    def eta_s(self, done: int, total: int) -> Optional[float]:
+        """Remaining-work estimate from executed-job throughput; cache
+        hits are free, so they never count toward the rate."""
+        if self._executed == 0 or done >= total:
+            return None
+        elapsed = time.perf_counter() - self._started
+        if elapsed <= 0:
+            return None
+        return (total - done) * elapsed / self._executed
+
+    def _render(self, done: int, total: int) -> None:
+        eta = self.eta_s(done, total)
+        text = (
+            f"sweep [{done}/{total}] "
+            f"{self._executed} run, {self._hits} cached, "
+            f"{self._failed} failed"
+        )
+        if eta is not None:
+            text += f", eta {eta:.0f}s"
+        if self._isatty:
+            self.stream.write("\r\x1b[K" + text)
+            self._open_line = True
+        else:
+            self.stream.write(text + "\n")
+        self.stream.flush()
+
+    def close(self) -> None:
+        """Terminate an in-place line so later output starts clean."""
+        if self._open_line:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._open_line = False
+
+
 def _default_context():
     try:
         return multiprocessing.get_context("fork")
@@ -141,7 +257,9 @@ def _default_context():
         return multiprocessing.get_context()
 
 
-def _run_isolated(job: Job, mp_context) -> Dict[str, object]:
+def _run_isolated(
+    job: Job, mp_context, telemetry_path: Optional[str] = None
+) -> Dict[str, object]:
     """Re-run one suspect job in a disposable single-worker pool.
 
     If this pool breaks too, the crash is attributable to exactly this
@@ -152,7 +270,8 @@ def _run_isolated(job: Job, mp_context) -> Dict[str, object]:
             max_workers=1, mp_context=mp_context
         ) as pool:
             return pool.submit(
-                execute_job, job.kind, dict(job.params)
+                execute_job, job.kind, dict(job.params),
+                telemetry_path, job.key, job.label,
             ).result()
     except BrokenProcessPool:
         return {
@@ -168,6 +287,7 @@ def _run_parallel(
     workers: int,
     mp_context,
     on_done: Callable[[Job, Dict[str, object]], None],
+    telemetry_path: Optional[str] = None,
 ) -> None:
     """Shard ``pending`` over a worker pool, isolating crashers."""
     suspects: List[Job] = []
@@ -175,7 +295,10 @@ def _run_parallel(
         max_workers=workers, mp_context=mp_context
     ) as pool:
         futures = {
-            pool.submit(execute_job, job.kind, dict(job.params)): job
+            pool.submit(
+                execute_job, job.kind, dict(job.params),
+                telemetry_path, job.key, job.label,
+            ): job
             for job in pending
         }
         for future in as_completed(futures):
@@ -197,7 +320,7 @@ def _run_parallel(
                 }
             on_done(job, payload)
     for job in suspects:
-        on_done(job, _run_isolated(job, mp_context))
+        on_done(job, _run_isolated(job, mp_context, telemetry_path))
 
 
 def run_sweep(
@@ -208,6 +331,7 @@ def run_sweep(
     retry_failed: bool = False,
     progress: Optional[ProgressFn] = None,
     mp_context=None,
+    telemetry=None,
 ) -> SweepReport:
     """Resolve every job — from the store where possible, by
     simulation otherwise — and return the per-job outcomes.
@@ -217,6 +341,9 @@ def run_sweep(
     ``retry_failed=True`` re-executes stored *failed* records instead
     of serving them from cache — the default serves them, because the
     simulator is deterministic and a re-run reproduces the failure.
+    ``telemetry`` (a :class:`~repro.obs.stream.TelemetryWriter`) streams
+    the sweep lifecycle; workers append their own ``job_start`` and
+    ``heartbeat`` records when the writer is file-backed.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -227,6 +354,11 @@ def run_sweep(
     started = time.perf_counter()
     unique = dedupe(jobs)
     report = SweepReport(duplicates=len(jobs) - len(unique))
+    telemetry_path = (
+        str(telemetry.path)
+        if telemetry is not None and telemetry.path is not None
+        else None
+    )
 
     outcomes: Dict[str, JobOutcome] = {}
     pending: List[Job] = []
@@ -239,15 +371,37 @@ def run_sweep(
         else:
             pending.append(job)
 
+    if telemetry is not None:
+        telemetry.emit(
+            "sweep_start",
+            total=len(unique),
+            pending=len(pending),
+            cached=len(outcomes),
+            workers=workers,
+            duplicates=report.duplicates,
+        )
+
     done_count = len(outcomes)
-    if progress is not None:
-        for job in unique:
-            outcome = outcomes.get(job.key)
-            if outcome is not None:
-                progress(job, outcome.record, True, done_count, len(unique))
+    executed_done = 0
+    failed_count = 0
+    for job in unique:
+        outcome = outcomes.get(job.key)
+        if outcome is None:
+            continue
+        if not outcome.ok:
+            failed_count += 1
+        if progress is not None:
+            progress(job, outcome.record, True, done_count, len(unique))
+        if telemetry is not None:
+            telemetry.emit(
+                "job_hit",
+                key=job.key,
+                label=job.label,
+                status=outcome.record.get("status"),
+            )
 
     def on_done(job: Job, payload: Dict[str, object]) -> None:
-        nonlocal done_count
+        nonlocal done_count, executed_done, failed_count
         record = make_record(
             job,
             status=payload["status"],
@@ -258,22 +412,63 @@ def run_sweep(
         store.put(record)
         outcomes[job.key] = JobOutcome(job, record, cached=False)
         done_count += 1
+        executed_done += 1
+        failed = payload["status"] != "ok"
+        if failed:
+            failed_count += 1
         if progress is not None:
             progress(job, record, False, done_count, len(unique))
+        if telemetry is not None:
+            telemetry.emit(
+                "job_fail" if failed else "job_done",
+                key=job.key,
+                label=job.label,
+                elapsed_s=payload["elapsed_s"],
+                error=payload["error"],
+            )
+            elapsed = time.perf_counter() - started
+            rate = executed_done / elapsed if elapsed > 0 else None
+            remaining = len(unique) - done_count
+            telemetry.emit(
+                "sweep_progress",
+                done=done_count,
+                total=len(unique),
+                failed=failed_count,
+                hits=done_count - executed_done,
+                jobs_per_s=rate,
+                eta_s=remaining / rate if rate else None,
+            )
 
     if pending:
         if workers == 1:
             for job in pending:
-                on_done(job, execute_job(job.kind, dict(job.params)))
+                on_done(
+                    job,
+                    execute_job(
+                        job.kind, dict(job.params),
+                        telemetry_path, job.key, job.label,
+                    ),
+                )
         else:
             _run_parallel(
                 pending,
                 workers,
                 mp_context if mp_context is not None else _default_context(),
                 on_done,
+                telemetry_path,
             )
 
     # Report in submission order regardless of completion order.
     report.outcomes = [outcomes[job.key] for job in unique]
     report.elapsed_s = time.perf_counter() - started
+    if telemetry is not None:
+        telemetry.emit(
+            "sweep_end",
+            total=report.total,
+            hits=report.hits,
+            executed=report.executed,
+            failed=report.failed,
+            elapsed_s=report.elapsed_s,
+            summary=report.summary(),
+        )
     return report

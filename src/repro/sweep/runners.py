@@ -30,12 +30,61 @@ text.
 
 from __future__ import annotations
 
+import os
 from dataclasses import asdict
 from typing import Callable, Dict, Mapping, Optional
 
 from ..core.system import build_system
 from ..resilience.faults import FaultConfig, FaultSite, ScheduledFault
 from ..sim.config import DdrGeneration, NocDesign, SystemConfig
+
+#: Jobs this process has finished — the heartbeat progress counter.
+#: Plain module state: each forked worker owns its copy.
+_jobs_done = 0
+
+
+def worker_job_started(
+    telemetry_path: str, key: str, kind: str, label: str
+) -> None:
+    """Emit ``job_start`` + a heartbeat from inside a worker process.
+
+    Workers append single lines to the shared stream file themselves
+    (``O_APPEND``), so the monitor sees a job the moment a worker picks
+    it up — not only when the parent collects the result.  Telemetry is
+    never load-bearing: emission failures are swallowed.
+    """
+    from ..obs.stream import append_record
+
+    try:
+        append_record(
+            telemetry_path, "job_start",
+            key=key, kind=kind, label=label, worker=os.getpid(),
+        )
+        append_record(
+            telemetry_path, "heartbeat",
+            worker=os.getpid(), jobs_done=_jobs_done, current=label,
+            phase="start",
+        )
+    except OSError:
+        pass
+
+
+def worker_job_finished(
+    telemetry_path: str, key: str, label: str, status: str
+) -> None:
+    """Count the finished job and emit the worker's heartbeat."""
+    global _jobs_done
+    _jobs_done += 1
+    from ..obs.stream import append_record
+
+    try:
+        append_record(
+            telemetry_path, "heartbeat",
+            worker=os.getpid(), jobs_done=_jobs_done, current=label,
+            phase="done", status=status,
+        )
+    except OSError:
+        pass
 
 
 class JobFailure(Exception):

@@ -198,3 +198,46 @@ class TestRequestBreakdownProperties:
         assert breakdown.dram_service == 5
         assert breakdown.response_return == 3
         assert breakdown.total == 12
+
+
+class TestRealRunRoundTrips:
+    """Full-system round trips: a traced run's exports re-parse and
+    validate against the source event list, field for field."""
+
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        from repro.core.system import build_system
+        from repro.obs import MemoryTracer
+        from repro.sim.config import SystemConfig
+
+        tracer = MemoryTracer()
+        system = build_system(
+            SystemConfig(app="single_dtv", cycles=1_500, warmup=0),
+            tracer=tracer,
+        )
+        system.run()
+        assert tracer.events, "traced run produced no events"
+        return tracer.events
+
+    def test_chrome_trace_round_trip_validates(self, traced_run, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(traced_run, str(path))
+        doc = json.loads(path.read_text())
+        validate_chrome_trace(doc)
+        slices = [r for r in doc["traceEvents"] if r["ph"] != "M"]
+        # Every source event surfaces as exactly one slice.
+        assert len(slices) == len(traced_run)
+        assert {r["name"] for r in slices} == {
+            e.type.value for e in traced_run
+        }
+
+    def test_jsonl_round_trip_matches_source(self, traced_run, tmp_path):
+        path = tmp_path / "events.jsonl"
+        count = write_jsonl(traced_run, str(path))
+        records = read_jsonl(str(path))
+        assert count == len(records) == len(traced_run)
+        for record, event in zip(records, traced_run):
+            assert record["type"] == event.type.value
+            assert record["cycle"] == event.cycle
+            assert record["component"] == event.component
+            assert record.get("request_id") == event.request_id

@@ -106,3 +106,55 @@ class TestRegistry:
         text = registry.render()
         assert "dram.commands" in text
         assert "n=1" in text
+
+
+class TestSnapshotDeterminism:
+    """The snapshot is the base of JSONL telemetry and the Prometheus
+    exposition: byte-identical output for identical state, regardless of
+    registration or update order."""
+
+    @staticmethod
+    def _populate(registry, order):
+        for name in order:
+            registry.counter(f"counter.{name}").inc(3)
+        registry.gauge("gauge.z").set(1.0)
+        hist = registry.histogram("hist.lat")
+        for value in (5.0, 1.0, 9.0):
+            hist.record(value)
+
+    def test_json_dumps_byte_identical_across_orders(self):
+        import json
+
+        first = MetricsRegistry()
+        self._populate(first, ["b", "a", "c"])
+        second = MetricsRegistry()
+        self._populate(second, ["c", "b", "a"])
+        assert json.dumps(first.snapshot()) == json.dumps(second.snapshot())
+
+    def test_keys_sorted(self):
+        registry = MetricsRegistry()
+        self._populate(registry, ["z", "m", "a"])
+        keys = list(registry.snapshot())
+        assert keys == sorted(keys)
+
+    def test_histogram_summary_field_order_fixed(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").record(4.0)
+        summary = registry.snapshot()["h"]
+        assert list(summary) == ["count", "mean", "min", "max", "p50",
+                                 "p95", "p99"]
+
+    def test_empty_histogram_omits_extremes(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        summary = registry.snapshot()["h"]
+        assert list(summary) == ["count", "mean"]
+
+    def test_percentiles_reported_when_samples_kept(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for value in range(1, 101):
+            hist.record(float(value))
+        summary = registry.snapshot()["h"]
+        assert summary["p95"] == 95.0
+        assert summary["min"] == 1.0 and summary["max"] == 100.0

@@ -268,3 +268,45 @@ def test_random_schedules_event_identical_to_naive(schedule, tokens, delay):
     assert esink.log == nsink.log
     assert esrc.tokens == nsrc.tokens
     assert erelay.pending == nrelay.pending
+
+
+# ---------------------------------------------------------------------- #
+# Sampler transparency: telemetry must never perturb simulated metrics
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("interval", [1, 997])
+def test_sampler_leaves_metrics_bit_identical(interval):
+    """An attached time-series sampler — at a pathological interval of 1
+    or a boundary-straddling prime — must leave every reported metric
+    bit-identical to the unsampled run, and must keep an all-event system
+    on the event tier (it speaks ``event_wake_at``, so it never drops the
+    run to stepping)."""
+    def run(attach: bool):
+        config = SystemConfig(
+            app="single_dtv", cycles=CYCLES, warmup=WARMUP,
+            design=NocDesign.GSS_SAGM, seed=2010,
+        )
+        system = build_system(config)
+        sampler = (
+            # Capacity covers every window so the delta-sum check below
+            # sees the whole run, not just the ring's tail.
+            system.attach_sampler(interval, capacity=CYCLES + 8)
+            if attach else None
+        )
+        metrics = system.run(CYCLES)
+        return dataclasses.asdict(metrics), system, sampler
+
+    sampled, sampled_system, sampler = run(True)
+    plain, plain_system, _ = run(False)
+    assert sampled == plain, (
+        f"sampler at interval {interval} perturbed metrics: "
+        f"{ {k: (sampled[k], plain[k]) for k in sampled if sampled[k] != plain[k]} }"
+    )
+    assert sampled_system.simulator.last_dispatch_mode == "event"
+    assert plain_system.simulator.last_dispatch_mode == "event"
+    # Coverage is complete and conservative: window deltas sum to the
+    # final cumulative counter.
+    assert sum(
+        s.deltas["requests.completed"] for s in sampler.samples
+    ) == sampled_system.stats.all_packets.count

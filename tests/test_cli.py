@@ -281,3 +281,97 @@ class TestAllCachedCommand:
         args = build_parser().parse_args(["all"])
         assert args.store.endswith("results.jsonl")
         assert not args.no_cache
+
+
+class TestTelemetryCommands:
+    def test_run_telemetry_writes_stream(self, capsys, tmp_path):
+        from repro.obs.stream import read_stream, validate_stream
+
+        path = tmp_path / "run.ndjson"
+        main([
+            "run", "--cycles", "2500", "--warmup", "300",
+            "--telemetry", str(path), "--sample-interval", "500",
+        ])
+        out = capsys.readouterr().out
+        assert "telemetry" in out
+        records = read_stream(path)
+        counts = validate_stream(records)
+        assert counts["run_start"] == 1
+        assert counts["run_end"] == 1
+        assert counts["sample"] >= 4
+        manifest = records[0]
+        assert manifest["type"] == "run_start"
+        assert manifest["sample_interval"] == 500
+        assert "host" in manifest and "config_key" in manifest
+        summary = records[-1]
+        assert summary["type"] == "run_end"
+        assert summary["completed"] > 0
+
+    def test_run_rejects_bad_sample_interval(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "run", "--cycles", "1000", "--warmup", "0",
+                "--telemetry", str(tmp_path / "x.ndjson"),
+                "--sample-interval", "0",
+            ])
+
+    def test_run_prom_snapshot(self, capsys, tmp_path):
+        path = tmp_path / "run.prom"
+        main([
+            "run", "--cycles", "2000", "--warmup", "200",
+            "--prom", str(path),
+        ])
+        assert "prometheus" in capsys.readouterr().out
+        text = path.read_text()
+        assert "# TYPE repro_dram_commands counter" in text
+        assert 'repro_latency_all{quantile="0.95"}' in text
+
+    def test_monitor_parser_flags(self):
+        args = build_parser().parse_args(
+            ["monitor", "s.ndjson", "--follow", "--refresh", "0.5"]
+        )
+        assert args.stream == "s.ndjson"
+        assert args.follow and not args.once
+        assert args.refresh == 0.5
+
+    def test_monitor_once_renders_run_stream(self, capsys, tmp_path):
+        path = tmp_path / "run.ndjson"
+        main([
+            "run", "--cycles", "2000", "--warmup", "200",
+            "--telemetry", str(path),
+        ])
+        capsys.readouterr()
+        assert main(["monitor", str(path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "run done" in out
+        assert "cycle" in out
+
+    def test_monitor_empty_stream_exits_one(self, capsys, tmp_path):
+        path = tmp_path / "empty.ndjson"
+        path.write_text("")
+        assert main(["monitor", str(path), "--once"]) == 1
+
+    def test_sweep_telemetry_stream(self, capsys, tmp_path):
+        from repro.obs.stream import read_stream, validate_stream
+
+        path = tmp_path / "sweep.ndjson"
+        store = tmp_path / "store.jsonl"
+        assert main([
+            "sweep", "grid", "--axis", "seed=2010,2011",
+            "--set", "cycles=1200", "--set", "warmup=200",
+            "--jobs", "1", "--store", str(store), "--quiet",
+            "--telemetry", str(path),
+        ]) == 0
+        counts = validate_stream(read_stream(path))
+        assert counts["sweep_start"] == 1
+        assert counts["job_done"] == 2
+        assert counts["sweep_end"] == 1
+        capsys.readouterr()
+        assert main(["monitor", str(path), "--once"]) == 0
+        assert "2/2 done" in capsys.readouterr().out
+
+    def test_bench_parser_telemetry_flag(self):
+        args = build_parser().parse_args(
+            ["bench", "--telemetry", "b.ndjson"]
+        )
+        assert args.telemetry == "b.ndjson"
