@@ -81,6 +81,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="after the run, write the metrics registry as a "
         "Prometheus text-format snapshot",
     )
+    run.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="snapshot the full simulator state to PATH — periodically "
+        "with --checkpoint-every, on SIGINT/SIGTERM (checkpoint, then "
+        "exit 130/143), and at the end of the run; continue "
+        "bit-identically with --resume PATH",
+    )
+    run.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="CYCLES",
+        help="cycles between periodic snapshots (implies --checkpoint "
+        "with a label-derived default path under .repro-cache/)",
+    )
+    run.add_argument(
+        "--resume", metavar="CKPT", default=None,
+        help="restore state from a snapshot and run on to --cycles (or "
+        "the snapshot's configured total, whichever is larger); the "
+        "snapshot carries its configuration, so --app/--design/... are "
+        "ignored",
+    )
 
     monitor = sub.add_parser(
         "monitor",
@@ -294,8 +313,9 @@ def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--resume", action="store_true",
-        help="serve already-stored points from the store (the default; "
-        "interrupted sweeps resume for free)",
+        help="repair the store first (truncate any corrupt tail left by "
+        "a crash), then serve already-stored points from it — an "
+        "interrupted or killed sweep continues where it stopped",
     )
     parser.add_argument(
         "--no-cache", action="store_true",
@@ -324,6 +344,33 @@ def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
         help="stream sweep lifecycle telemetry (job events, worker "
         "heartbeats, progress/ETA) to PATH; watch live with "
         "`repro monitor PATH --follow`",
+    )
+    parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline per job attempt; a timed-out attempt "
+        "fails (and is retried under --job-retries)",
+    )
+    parser.add_argument(
+        "--job-retries", type=int, default=0, metavar="N",
+        help="re-executions allowed after a timeout or unexpected "
+        "exception, with deterministic jittered backoff between "
+        "attempts (domain failures are never retried)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="mid-job snapshot directory: metrics jobs save "
+        "<job-key>.ckpt periodically, and a retried or resumed job "
+        "continues from its snapshot bit-identically",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="CYCLES",
+        help="cycles between mid-job snapshots (default: a quarter of "
+        "each job's run)",
+    )
+    parser.add_argument(
+        "--fsync-store", action="store_true",
+        help="fsync the result store after every append, so no "
+        "completed job is lost even to a power failure",
     )
 
 
@@ -401,20 +448,44 @@ def _seeds(args) -> dict:
     return kwargs
 
 
-def _cmd_run(args) -> None:
-    config = _config_from(args)
+def _default_checkpoint_path(label: str) -> str:
+    import re
+
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "-", label).strip("-")
+    return f".repro-cache/run-{slug or 'run'}.ckpt"
+
+
+def _cmd_run(args) -> int:
+    import signal
+
     telemetry_path = getattr(args, "telemetry", None)
     started = time.time()
-    # Telemetry keeps per-request samples so sample windows carry real
-    # p50/p95/p99 — sample retention never perturbs simulated metrics.
-    system = build_system(
-        config,
-        keep_samples=(
-            args.percentiles
-            or telemetry_path is not None
-            or getattr(args, "prom", None) is not None
-        ),
-    )
+    resume_path = getattr(args, "resume", None)
+    if resume_path is not None:
+        from .sim.checkpoint import CheckpointError, load_checkpoint
+
+        try:
+            system = load_checkpoint(resume_path)
+        except CheckpointError as exc:
+            raise SystemExit(f"error: {exc}")
+        config = system.config
+        print(
+            f"resumed       : {resume_path} "
+            f"(cycle {system.simulator.cycle})"
+        )
+    else:
+        config = _config_from(args)
+        # Telemetry keeps per-request samples so sample windows carry
+        # real p50/p95/p99 — sample retention never perturbs simulated
+        # metrics.
+        system = build_system(
+            config,
+            keep_samples=(
+                args.percentiles
+                or telemetry_path is not None
+                or getattr(args, "prom", None) is not None
+            ),
+        )
     writer = None
     if telemetry_path is not None:
         from .obs.stream import TelemetryWriter, run_manifest
@@ -425,9 +496,99 @@ def _cmd_run(args) -> None:
         writer.emit(
             "run_start", **run_manifest(config, args.sample_interval)
         )
-        system.attach_sampler(args.sample_interval, on_sample=writer.sample)
-    metrics = system.run()
+        if system.sampler is not None:
+            # A resumed snapshot carries its sampler (windows intact);
+            # only the process-local stream callback needs rewiring.
+            system.sampler.on_sample = writer.sample
+        else:
+            system.attach_sampler(
+                args.sample_interval, on_sample=writer.sample
+            )
+
+    # Checkpoint policy: an explicit path, a label-derived default when
+    # only a cadence (or a resume source) is given, or none at all.
+    ckpt_every = getattr(args, "checkpoint_every", None)
+    if ckpt_every is not None and ckpt_every < 1:
+        raise SystemExit("--checkpoint-every must be >= 1")
+    ckpt_path = getattr(args, "checkpoint", None)
+    if ckpt_path is None and (ckpt_every is not None or resume_path):
+        ckpt_path = resume_path or _default_checkpoint_path(config.label)
+
+    if ckpt_path is not None and system.watchdog is not None:
+        # Post-mortem hook: the instant a request exhausts its watchdog
+        # re-issue budget, dump the full simulator state next to the
+        # regular snapshot so the hang can be dissected offline.
+        def snapshot_hang(cycle: int, parent: int, master: int) -> None:
+            from .sim.checkpoint import save_checkpoint
+
+            hang_path = f"{ckpt_path}.hang"
+            save_checkpoint(
+                hang_path, system,
+                meta={"reason": "watchdog-hang", "request": parent,
+                      "master": master},
+            )
+            print(
+                f"watchdog hang : request {parent} (master {master}) at "
+                f"cycle {cycle}; state dumped to {hang_path}",
+                file=sys.stderr,
+            )
+
+        system.watchdog.on_hang = snapshot_hang
+
+    # With a checkpoint target, SIGINT/SIGTERM mean "snapshot, then
+    # exit 130/143" instead of dying mid-cycle: the handler only sets a
+    # flag, and the run loop notices it at the next segment boundary.
+    stop_signals: List[int] = []
+    previous_handlers = {}
+    if ckpt_path is not None:
+        def request_stop(signum, frame):
+            stop_signals.append(signum)
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous_handlers[signum] = signal.signal(signum, request_stop)
+
+    def on_checkpoint(cycle: int) -> bool:
+        from .sim.checkpoint import save_checkpoint
+
+        interrupted = bool(stop_signals)
+        if ckpt_every is not None or interrupted:
+            save_checkpoint(ckpt_path, system)
+            if writer is not None:
+                writer.emit(
+                    "checkpoint", cycle=cycle, path=str(ckpt_path),
+                    reason="signal" if interrupted else "interval",
+                )
+        return interrupted
+
+    total_target = (
+        args.cycles if resume_path is None
+        else max(args.cycles, config.cycles)
+    )
+    remaining = max(0, total_target - system.simulator.cycle)
+    try:
+        metrics = system.run(
+            remaining,
+            # Segment the run when any checkpointing is live, so signal
+            # checks happen at least every 1000 cycles.
+            checkpoint_every=(
+                (ckpt_every or 1_000) if ckpt_path is not None else None
+            ),
+            on_checkpoint=on_checkpoint if ckpt_path is not None else None,
+        )
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
     elapsed = time.time() - started
+
+    if stop_signals:
+        print(
+            f"interrupted   : snapshot at cycle {system.simulator.cycle} "
+            f"-> {ckpt_path}"
+        )
+        print(f"resume with   : repro run --resume {ckpt_path}")
+        if writer is not None:
+            writer.close()
+        return 130 if signal.SIGINT in stop_signals else 143
     print(f"configuration : {config.label}")
     print(f"cycles        : {metrics.cycles} ({elapsed:.1f}s wall)")
     print(f"utilization   : {metrics.utilization:.3f} "
@@ -493,6 +654,17 @@ def _cmd_run(args) -> None:
         with open(args.prom, "w", encoding="utf-8") as handle:
             handle.write(prometheus_exposition(registry))
         print(f"prometheus    : {args.prom} ({len(registry)} metrics)")
+    if getattr(args, "checkpoint", None):
+        # An explicit --checkpoint also snapshots the *completed* run,
+        # so it can later be extended with --resume and more --cycles.
+        from .sim.checkpoint import save_checkpoint
+
+        save_checkpoint(args.checkpoint, system)
+        print(
+            f"checkpoint    : {args.checkpoint} "
+            f"(cycle {system.simulator.cycle})"
+        )
+    return 0
 
 
 def _cmd_trace(args) -> None:
@@ -655,6 +827,8 @@ def _sweep_document(report) -> dict:
             "failed": report.failed,
             "duplicates": report.duplicates,
             "elapsed_s": round(report.elapsed_s, 3),
+            "heartbeat_drops": report.heartbeat_drops,
+            "interrupted": report.interrupted,
         },
         "records": [dict(outcome.record) for outcome in report.outcomes],
     }
@@ -698,7 +872,15 @@ def _cmd_sweep(args) -> int:
         run_sweep,
     )
 
-    store = ResultStore(args.store)
+    store = ResultStore(args.store, fsync=args.fsync_store)
+    if args.resume:
+        repaired = store.repair()
+        if repaired:
+            print(
+                f"store repaired: truncated {repaired} corrupt byte(s) "
+                f"from {args.store}",
+                file=sys.stderr,
+            )
     progress = None if args.quiet else ProgressPrinter()
     telemetry = None
     if getattr(args, "telemetry", None):
@@ -718,6 +900,11 @@ def _cmd_sweep(args) -> int:
                 retry_failed=args.retry_failed,
                 progress=progress,
                 telemetry=telemetry,
+                job_timeout_s=args.job_timeout,
+                job_retries=args.job_retries,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+                handle_signals=True,
             )
         finally:
             if progress is not None:
@@ -744,6 +931,8 @@ def _cmd_sweep(args) -> int:
         report = run_jobs(spec)
         if args.format == "json":
             print(json.dumps(_sweep_document(report), indent=1))
+        elif report.interrupted:
+            print(report.summary())
         else:
             for seed in args.seeds:
                 rows = [p for s, p in fault_points(store, spec) if s == seed]
@@ -764,6 +953,8 @@ def _cmd_sweep(args) -> int:
         report = run_jobs(fig8_jobs(**kwargs))
         if args.format == "json":
             print(json.dumps(_sweep_document(report), indent=1))
+        elif report.interrupted:
+            print(report.summary())
         else:
             print(render_fig8(fig8_curves(store, **kwargs)))
             print()
@@ -798,6 +989,13 @@ def _cmd_sweep(args) -> int:
                 f"FAIL: {outcome.job.label}: {outcome.record.get('error')}",
                 file=sys.stderr,
             )
+    if report.interrupted:
+        print(
+            "sweep interrupted — completed points are stored; re-run "
+            "the same command (with --resume) to continue",
+            file=sys.stderr,
+        )
+        return 130
     if args.require_all_cached and not report.all_cached:
         print(
             f"FAIL: --require-all-cached but {report.executed} point(s) "
@@ -843,7 +1041,7 @@ def _cmd_all(args) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
-        _cmd_run(args)
+        return _cmd_run(args)
     elif args.command == "faults":
         return _cmd_faults(args)
     elif args.command == "trace":

@@ -247,9 +247,27 @@ class SocSystem:
     # Running
     # ------------------------------------------------------------------ #
 
-    def run(self, cycles: Optional[int] = None) -> RunMetrics:
+    def run(
+        self,
+        cycles: Optional[int] = None,
+        checkpoint_every: Optional[int] = None,
+        on_checkpoint=None,
+    ) -> RunMetrics:
+        """Simulate ``cycles`` (default: the configured run length).
+
+        ``checkpoint_every``/``on_checkpoint`` pass straight through to
+        :meth:`~repro.sim.engine.Simulator.run`: the run is segmented at
+        snapshot boundaries (dispatch and fast-forward semantics
+        unchanged) and ``on_checkpoint(cycle)`` — typically a
+        :func:`~repro.sim.checkpoint.save_checkpoint` call — fires at
+        each boundary, ending the run early if it returns true.
+        """
         total = cycles if cycles is not None else self.config.cycles
-        self.simulator.run(total)
+        self.simulator.run(
+            total,
+            checkpoint_every=checkpoint_every,
+            on_checkpoint=on_checkpoint,
+        )
         return RunMetrics.from_collector(self.stats, self.simulator.cycle)
 
     def drain(self, max_cycles: int = 50_000) -> bool:

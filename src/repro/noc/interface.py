@@ -178,6 +178,13 @@ class CoreInterface:
         # Response flits landing in the sink must wake this NI.
         self.sink.wake_consumer = wake
 
+    def __getstate__(self):
+        # The engine wake handle is a process-local closure; a restored
+        # simulator re-issues it through attach_wake on rebind.
+        state = self.__dict__.copy()
+        state["_wake"] = None
+        return state
+
     def event_wake_at(self, cycle: int) -> Optional[int]:
         if self._pending or self.sink.entries:
             return cycle + 1
@@ -540,6 +547,12 @@ class MemoryInterface:
         self._wake = wake
         # Request flits landing in the sink must wake this NI.
         self.sink.wake_consumer = wake
+
+    def __getstate__(self):
+        # Engine wake handles are process-local; rebind re-issues them.
+        state = self.__dict__.copy()
+        state["_wake"] = None
+        return state
 
     def event_wake_at(self, cycle: int) -> Optional[int]:
         """Next cycle with possible work.  Buffered stages poll per cycle

@@ -144,6 +144,14 @@ class MeshNetwork:
         for router in self.routers:
             router._net_wake = wake
 
+    def __getstate__(self):
+        # The active-router scan cache is intra-cycle state; drop it so a
+        # restored network starts with a clean (and exact) rescan.
+        state = self.__dict__.copy()
+        state["_active"] = []
+        state["_active_cycle"] = -1
+        return state
+
     def on_run_mode(self, event_dispatch: bool) -> None:
         """Router sleep is an event-dispatch shortcut; the reference
         kernels (stepped/naive) must keep planning every non-empty router,

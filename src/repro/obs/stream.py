@@ -17,7 +17,9 @@ has a ``type`` and a wall-clock ``ts``:
   the sweep orchestrator's lifecycle, including per-worker heartbeats
   written *by the worker processes themselves* (single-line ``O_APPEND``
   writes, so no cross-process locking is needed);
-* ``bench_round`` — one timed repetition of a standing benchmark.
+* ``bench_round`` — one timed repetition of a standing benchmark;
+* ``checkpoint`` — one snapshot written by ``repro run`` (periodic or
+  signal-triggered): cycle, path, and reason.
 
 Writers always append whole lines and flush per record, so a reader can
 tail the file while the producer is live.  Readers tolerate a truncated
@@ -47,6 +49,7 @@ RECORD_TYPES = frozenset([
     "sweep_start", "job_start", "job_done", "job_fail", "job_hit",
     "heartbeat", "sweep_progress", "sweep_end",
     "bench_round",
+    "checkpoint",
 ])
 
 

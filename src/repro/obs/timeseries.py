@@ -248,6 +248,22 @@ class TimeSeriesSampler:
         #: Total samples emitted (coalesced gaps count once).
         self.emitted = 0
 
+    def __getstate__(self):
+        """Emission plumbing is process-local and never serialized: the
+        ``on_sample`` callback usually holds an open telemetry stream and
+        ``_clock`` may be any local callable.  Counter state (windows,
+        baselines, ring buffer) round-trips, so a restored run samples on
+        the same boundaries — re-attach a writer before resuming if live
+        emission should continue."""
+        state = self.__dict__.copy()
+        state["on_sample"] = None
+        state["_clock"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._clock = time.perf_counter
+
     # ------------------------------------------------------------------ #
     # Simulator contracts (event + stepped tiers)
     # ------------------------------------------------------------------ #

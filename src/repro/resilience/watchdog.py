@@ -15,10 +15,13 @@ instead of hanging the simulation.
 
 from __future__ import annotations
 
-from typing import Dict, List
+import logging
+from typing import Callable, Dict, List, Optional
 
 from .faults import FaultConfig
 from .protection import ResilienceController
+
+logger = logging.getLogger(__name__)
 
 #: Tracker-scan stride in cycles: timeouts are detected within one
 #: interval of expiring, a rounding the timeout knob dwarfs.
@@ -38,6 +41,18 @@ class RequestWatchdog:
         self.core_interfaces = core_interfaces
         self.config = config
         self._reissues: Dict[int, int] = {}  # parent id -> re-issue count
+        #: Post-mortem hook, called as ``on_hang(cycle, parent, master)``
+        #: the moment a request exhausts its re-issue budget (a detected
+        #: hang).  The CLI wires this to a checkpoint dump so the hung
+        #: state can be inspected offline.  Never load-bearing: a raising
+        #: hook is logged and swallowed, and the hook is process-local
+        #: (dropped from snapshots — re-attach after restore).
+        self.on_hang: Optional[Callable[[int, int, int], None]] = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["on_hang"] = None
+        return state
 
     def is_idle(self, cycle: int) -> bool:
         """No-op cycles: off the scan stride, or nothing outstanding to
@@ -80,6 +95,16 @@ class RequestWatchdog:
                         reason="watchdog",
                     )
                     self._reissues.pop(parent, None)
+                    if self.on_hang is not None:
+                        try:
+                            self.on_hang(
+                                cycle, parent, interface.generator.master
+                            )
+                        except Exception:  # noqa: BLE001 - never load-bearing
+                            logger.exception(
+                                "watchdog on_hang hook failed "
+                                "(request %d, cycle %d)", parent, cycle
+                            )
                 else:
                     self._reissues[parent] = attempts + 1
                     interface.reissue(parent, cycle)

@@ -80,6 +80,23 @@ bulk-accounts each component's un-ticked gaps lazily (before its next tick
 and at run exit), so per-cycle denominators stay exact even when other
 components keep the cycle busy.
 
+Serialization
+-------------
+
+A :class:`Simulator` pickles as its registered components plus the clock
+and telemetry flags — none of the derived dispatch state (parallel tick
+lists, calendar heap, armed deadlines, wake closures) is serialized.
+That state is only meaningful *between* ``run()`` calls, where it is
+redundant by construction: ``_event_run`` re-arms every component at run
+entry and spurious ticks are state-gated no-ops, so ``run(k); run(N-k)``
+is bit-identical to ``run(N)``.  Checkpoints (see
+:mod:`repro.sim.checkpoint`) are therefore taken at run boundaries, and
+a restored simulator rebuilds its dispatch state by re-registering its
+components lazily on first use (:meth:`Simulator._rebind`), which also
+re-issues every ``attach_wake`` handle.  Wake handles themselves are
+process-local closures and are never serialized: components that store
+one drop it in ``__getstate__`` (identified via :func:`is_engine_wake`).
+
 Fast-forward inhibition
 -----------------------
 
@@ -102,6 +119,17 @@ logger = logging.getLogger(__name__)
 
 #: Sentinel wake cycle for "not armed" (far past any simulated horizon).
 _NEVER = 1 << 62
+
+
+def is_engine_wake(hook) -> bool:
+    """Whether ``hook`` is a wake handle issued by a :class:`Simulator`.
+
+    Wake handles are process-local closures over live dispatch state, so
+    they must never be pickled; components that may hold one (directly or
+    through a buffer hook) consult this in ``__getstate__`` and drop it —
+    restore re-issues handles through :meth:`Simulator._rebind`.
+    """
+    return getattr(hook, "_engine_wake", False) is True
 
 
 @runtime_checkable
@@ -183,6 +211,9 @@ class Simulator:
         #: Dispatch tier of the most recent run(): "event", "stepped",
         #: "naive" (introspection for tests and reports).
         self.last_dispatch_mode: Optional[str] = None
+        #: Components restored from a pickle but not yet re-registered
+        #: (see __setstate__/_rebind); None once dispatch state is live.
+        self._pending_rebind: Optional[List[Clocked]] = None
 
     @property
     def cycle(self) -> int:
@@ -191,6 +222,11 @@ class Simulator:
 
     def add(self, component: Clocked) -> Clocked:
         """Register ``component`` and return it (for fluent wiring)."""
+        if self._pending_rebind is not None:
+            # Restored-from-pickle simulator: re-register the saved
+            # components first so they keep their original indices (and
+            # therefore their original intra-cycle ordering).
+            self._rebind()
         tick = getattr(component, "tick", None)
         if not callable(tick):
             raise TypeError(f"{component!r} does not implement tick()")
@@ -300,7 +336,51 @@ class Simulator:
                 armed[index] = at
                 heappush(self._heap, (at, index))
 
+        # Serialization marker (see is_engine_wake): holders drop tagged
+        # closures in __getstate__; _rebind re-issues them.
+        wake._engine_wake = True
         return wake
+
+    # ------------------------------------------------------------------ #
+    # Serialization (see module docs, "Serialization")
+    # ------------------------------------------------------------------ #
+
+    def __getstate__(self):
+        """Components, clock, and telemetry — no derived dispatch state."""
+        return {
+            "components": self._components,
+            "cycle": self._cycle,
+            "hooks": self._hooks,
+            "idle_skip": self.idle_skip,
+            "fast_forwarded_cycles": self.fast_forwarded_cycles,
+            "fast_forward_inhibited": self.fast_forward_inhibited,
+            "warned_inhibited": self._warned_inhibited,
+            "last_dispatch_mode": self.last_dispatch_mode,
+        }
+
+    def __setstate__(self, state):
+        # Re-registration is deferred: at __setstate__ time the component
+        # graph may still be mid-unpickle (cyclic references), so calling
+        # attach_wake here could hand handles to half-restored objects —
+        # and a component's own later __setstate__ would clobber them
+        # anyway.  _rebind runs on first use instead, when the graph is
+        # guaranteed complete.
+        self.__init__(idle_skip=state["idle_skip"])
+        self._cycle = state["cycle"]
+        self._hooks = state["hooks"]
+        self.fast_forwarded_cycles = state["fast_forwarded_cycles"]
+        self.fast_forward_inhibited = state["fast_forward_inhibited"]
+        self._warned_inhibited = state["warned_inhibited"]
+        self.last_dispatch_mode = state["last_dispatch_mode"]
+        self._pending_rebind = state["components"]
+
+    def _rebind(self) -> None:
+        """Rebuild dispatch state after unpickling: re-register every
+        saved component (original order), re-issuing wake handles."""
+        components = self._pending_rebind
+        self._pending_rebind = None
+        if components:
+            self.add_all(components)
 
     # ------------------------------------------------------------------ #
     # Per-cycle stepping (tiers 2/3; also the manual step() entry point)
@@ -308,6 +388,8 @@ class Simulator:
 
     def step(self) -> int:
         """Advance the system by exactly one cycle; return the new cycle count."""
+        if self._pending_rebind is not None:
+            self._rebind()
         cycle = self._cycle
         if self._profiler is None:
             if self.idle_skip:
@@ -485,15 +567,52 @@ class Simulator:
                 "will be stepped individually", reason
             )
 
-    def run(self, cycles: int, until: Optional[Callable[[], bool]] = None) -> int:
+    def run(
+        self,
+        cycles: int,
+        until: Optional[Callable[[], bool]] = None,
+        *,
+        checkpoint_every: Optional[int] = None,
+        on_checkpoint: Optional[Callable[[int], object]] = None,
+    ) -> int:
         """Run for ``cycles`` cycles, or until ``until()`` becomes true.
 
         ``until`` is evaluated *before* each processed cycle, so a
         predicate that is already true at entry simulates zero cycles.
         Returns the total number of cycles simulated so far.
+
+        With ``checkpoint_every`` set, the horizon is executed as a
+        sequence of run segments of at most that many cycles, and
+        ``on_checkpoint(cycle)`` is called after each one — the hook
+        (typically :func:`repro.sim.checkpoint.save_checkpoint`) runs at
+        a run boundary, where serialization is guaranteed resumable.  A
+        truthy return from the hook stops the run early (how a signal
+        handler turns "checkpoint, then exit" into a clean stop).
+        Segmentation never inhibits fast-forward: each segment jumps its
+        idle gaps exactly as one long run would, clamped to the segment
+        end, so the cycles elided are identical.
         """
+        if self._pending_rebind is not None:
+            self._rebind()
         if cycles < 0:
             raise ValueError("cycles must be non-negative")
+        if checkpoint_every is None:
+            return self._run_bracketed(cycles, until)
+        if checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
+        end = self._cycle + cycles
+        while self._cycle < end:
+            before = self._cycle
+            self._run_bracketed(min(checkpoint_every, end - self._cycle), until)
+            if self._cycle == before:
+                break  # ``until`` already true: nothing left to snapshot
+            if on_checkpoint is not None and on_checkpoint(self._cycle):
+                break
+        return self._cycle
+
+    def _run_bracketed(
+        self, cycles: int, until: Optional[Callable[[], bool]]
+    ) -> int:
         for run_start in self._run_starts:
             run_start(self._cycle)
         try:

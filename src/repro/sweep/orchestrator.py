@@ -39,8 +39,10 @@ Liveness has two optional surfaces, both off by default:
 from __future__ import annotations
 
 import multiprocessing
+import signal
 import sys
 import time
+import traceback as traceback_mod
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -58,6 +60,10 @@ from typing import (
 from .runners import (
     JOB_RUNNERS,
     JobFailure,
+    heartbeat_drops,
+    job_context,
+    job_deadline,
+    retry_backoff_s,
     worker_job_finished,
     worker_job_started,
 )
@@ -74,6 +80,10 @@ def execute_job(
     telemetry_path: Optional[str] = None,
     key: Optional[str] = None,
     label: Optional[str] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
 ) -> Dict[str, object]:
     """Run one job in the current process; never raises.
 
@@ -82,42 +92,70 @@ def execute_job(
     With ``telemetry_path`` set, the worker itself appends ``job_start``
     and ``heartbeat`` records to the stream (line-atomic ``O_APPEND``
     writes), so a monitor sees jobs as workers pick them up.
+
+    ``timeout_s`` bounds each attempt's wall clock (SIGALRM, see
+    :func:`~repro.sweep.runners.job_deadline`); ``retries`` allows that
+    many *re*-executions after a timeout or an unexpected exception,
+    each preceded by the deterministic jittered backoff of
+    :func:`~repro.sweep.runners.retry_backoff_s`.  A
+    :class:`~repro.sweep.runners.JobFailure` is never retried: the
+    simulator is deterministic, so a domain-level failure reproduces
+    exactly.  The payload reports ``attempts`` (executions, including
+    the first), the last failure's ``traceback``, and the worker's
+    ``heartbeat_drops`` delta for this job.
     """
+    started = time.perf_counter()
+    drops_before = heartbeat_drops()
     if telemetry_path is not None:
         worker_job_started(telemetry_path, key or "", kind, label or "")
-    started = time.perf_counter()
-    try:
-        runner = JOB_RUNNERS.get(kind)
-        if runner is None:
-            raise JobFailure(
-                f"unknown job kind {kind!r}; "
-                f"registered: {sorted(JOB_RUNNERS)}"
-            )
-        result = runner(params)
-        payload = {
-            "status": "ok",
-            "result": dict(result),
-            "error": None,
-            "elapsed_s": time.perf_counter() - started,
-        }
-    except JobFailure as failure:
-        payload = {
-            "status": "failed",
-            "result": failure.result,
-            "error": failure.error,
-            "elapsed_s": time.perf_counter() - started,
-        }
-    except Exception as exc:  # noqa: BLE001 - boundary: fold into record
-        payload = {
-            "status": "failed",
-            "result": None,
-            "error": f"{type(exc).__name__}: {exc}",
-            "elapsed_s": time.perf_counter() - started,
-        }
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            runner = JOB_RUNNERS.get(kind)
+            if runner is None:
+                raise JobFailure(
+                    f"unknown job kind {kind!r}; "
+                    f"registered: {sorted(JOB_RUNNERS)}"
+                )
+            with job_context(key or "", checkpoint_dir, checkpoint_every):
+                with job_deadline(timeout_s):
+                    result = runner(params)
+            payload = {
+                "status": "ok",
+                "result": dict(result),
+                "error": None,
+                "traceback": None,
+            }
+            break
+        except JobFailure as failure:
+            payload = {
+                "status": "failed",
+                "result": failure.result,
+                "error": failure.error,
+                "traceback": failure.traceback
+                or traceback_mod.format_exc(),
+            }
+            break
+        except Exception as exc:  # noqa: BLE001 - boundary: fold into record
+            trace = traceback_mod.format_exc()
+            if attempts <= retries:
+                time.sleep(retry_backoff_s(key or kind, attempts))
+                continue
+            payload = {
+                "status": "failed",
+                "result": None,
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": trace,
+            }
+            break
+    payload["attempts"] = attempts
+    payload["elapsed_s"] = time.perf_counter() - started
     if telemetry_path is not None:
         worker_job_finished(
             telemetry_path, key or "", label or "", str(payload["status"])
         )
+    payload["heartbeat_drops"] = heartbeat_drops() - drops_before
     return payload
 
 
@@ -142,6 +180,12 @@ class SweepReport:
     #: Jobs submitted more than once with the same key (collapsed).
     duplicates: int = 0
     elapsed_s: float = 0.0
+    #: Worker telemetry emissions dropped on OSError (summed deltas).
+    heartbeat_drops: int = 0
+    #: A SIGINT/SIGTERM drained the sweep early: running jobs finished
+    #: and were stored, queued jobs were never started (and are absent
+    #: from :attr:`outcomes`).
+    interrupted: bool = False
 
     @property
     def total(self) -> int:
@@ -170,11 +214,16 @@ class SweepReport:
         raise KeyError(job.key)
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.total} job(s): {self.hits} cache hit(s), "
             f"{self.executed} executed, {self.failed} failed "
             f"({self.elapsed_s:.1f}s)"
         )
+        if self.heartbeat_drops:
+            text += f", {self.heartbeat_drops} heartbeat drop(s)"
+        if self.interrupted:
+            text += " — INTERRUPTED (resume with the same store)"
+        return text
 
 
 class ProgressPrinter:
@@ -258,7 +307,10 @@ def _default_context():
 
 
 def _run_isolated(
-    job: Job, mp_context, telemetry_path: Optional[str] = None
+    job: Job,
+    mp_context,
+    telemetry_path: Optional[str] = None,
+    job_kwargs: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Re-run one suspect job in a disposable single-worker pool.
 
@@ -272,6 +324,7 @@ def _run_isolated(
             return pool.submit(
                 execute_job, job.kind, dict(job.params),
                 telemetry_path, job.key, job.label,
+                **(job_kwargs or {}),
             ).result()
     except BrokenProcessPool:
         return {
@@ -288,9 +341,17 @@ def _run_parallel(
     mp_context,
     on_done: Callable[[Job, Dict[str, object]], None],
     telemetry_path: Optional[str] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
+    job_kwargs: Optional[Dict[str, object]] = None,
 ) -> None:
-    """Shard ``pending`` over a worker pool, isolating crashers."""
+    """Shard ``pending`` over a worker pool, isolating crashers.
+
+    When ``should_stop`` turns true (a drain signal), every not-yet-
+    started future is cancelled; jobs already running finish and are
+    recorded, so the drain loses no completed work.
+    """
     suspects: List[Job] = []
+    draining = False
     with ProcessPoolExecutor(
         max_workers=workers, mp_context=mp_context
     ) as pool:
@@ -298,11 +359,18 @@ def _run_parallel(
             pool.submit(
                 execute_job, job.kind, dict(job.params),
                 telemetry_path, job.key, job.label,
+                **(job_kwargs or {}),
             ): job
             for job in pending
         }
         for future in as_completed(futures):
+            if not draining and should_stop is not None and should_stop():
+                draining = True
+                for other in futures:
+                    other.cancel()
             job = futures[future]
+            if future.cancelled():
+                continue
             try:
                 payload = future.result()
             except BrokenProcessPool:
@@ -319,8 +387,12 @@ def _run_parallel(
                     "elapsed_s": 0.0,
                 }
             on_done(job, payload)
+    if draining:
+        return
     for job in suspects:
-        on_done(job, _run_isolated(job, mp_context, telemetry_path))
+        on_done(
+            job, _run_isolated(job, mp_context, telemetry_path, job_kwargs)
+        )
 
 
 def run_sweep(
@@ -332,6 +404,11 @@ def run_sweep(
     progress: Optional[ProgressFn] = None,
     mp_context=None,
     telemetry=None,
+    job_timeout_s: Optional[float] = None,
+    job_retries: int = 0,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    handle_signals: bool = False,
 ) -> SweepReport:
     """Resolve every job — from the store where possible, by
     simulation otherwise — and return the per-job outcomes.
@@ -344,6 +421,18 @@ def run_sweep(
     ``telemetry`` (a :class:`~repro.obs.stream.TelemetryWriter`) streams
     the sweep lifecycle; workers append their own ``job_start`` and
     ``heartbeat`` records when the writer is file-backed.
+
+    Crash tolerance: ``job_timeout_s`` bounds each attempt's wall
+    clock, ``job_retries`` re-executes timeouts/unexpected exceptions
+    (deterministic backoff — see :func:`execute_job`), and
+    ``checkpoint_dir`` lets the ``metrics`` runner snapshot mid-job
+    every ``checkpoint_every`` cycles so a killed worker's progress
+    survives to the retry or the next invocation.  With
+    ``handle_signals=True`` a SIGINT/SIGTERM drains gracefully: running
+    jobs finish and are stored, queued jobs are skipped, and the report
+    says ``interrupted`` — re-running the same sweep resumes from the
+    store.  (Signal handlers are process-global: only the CLI, which
+    owns the process, turns this on.)
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -408,7 +497,10 @@ def run_sweep(
             result=payload["result"],
             error=payload["error"],
             elapsed_s=payload["elapsed_s"],
+            attempts=payload.get("attempts", 1),
+            traceback=payload.get("traceback"),
         )
+        report.heartbeat_drops += int(payload.get("heartbeat_drops", 0))
         store.put(record)
         outcomes[job.key] = JobOutcome(job, record, cached=False)
         done_count += 1
@@ -439,27 +531,64 @@ def run_sweep(
                 eta_s=remaining / rate if rate else None,
             )
 
-    if pending:
-        if workers == 1:
-            for job in pending:
-                on_done(
-                    job,
-                    execute_job(
-                        job.kind, dict(job.params),
-                        telemetry_path, job.key, job.label,
-                    ),
-                )
-        else:
-            _run_parallel(
-                pending,
-                workers,
-                mp_context if mp_context is not None else _default_context(),
-                on_done,
-                telemetry_path,
-            )
+    job_kwargs: Dict[str, object] = {
+        "timeout_s": job_timeout_s,
+        "retries": job_retries,
+        "checkpoint_dir": checkpoint_dir,
+        "checkpoint_every": checkpoint_every,
+    }
+    stop_signals: List[int] = []
+    previous_handlers: Dict[int, object] = {}
+    if handle_signals:
+        def request_stop(signum, frame):
+            stop_signals.append(signum)
 
-    # Report in submission order regardless of completion order.
-    report.outcomes = [outcomes[job.key] for job in unique]
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous_handlers[signum] = signal.signal(
+                    signum, request_stop
+                )
+            except ValueError:  # not the main thread: no drain support
+                for installed, handler in previous_handlers.items():
+                    signal.signal(installed, handler)
+                previous_handlers.clear()
+                break
+
+    try:
+        if pending:
+            if workers == 1:
+                for job in pending:
+                    if stop_signals:
+                        break
+                    on_done(
+                        job,
+                        execute_job(
+                            job.kind, dict(job.params),
+                            telemetry_path, job.key, job.label,
+                            **job_kwargs,
+                        ),
+                    )
+            else:
+                _run_parallel(
+                    pending,
+                    workers,
+                    mp_context if mp_context is not None
+                    else _default_context(),
+                    on_done,
+                    telemetry_path,
+                    should_stop=lambda: bool(stop_signals),
+                    job_kwargs=job_kwargs,
+                )
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+
+    # Report in submission order regardless of completion order.  An
+    # interrupted sweep has no outcome for never-started jobs.
+    report.interrupted = bool(stop_signals)
+    report.outcomes = [
+        outcomes[job.key] for job in unique if job.key in outcomes
+    ]
     report.elapsed_s = time.perf_counter() - started
     if telemetry is not None:
         telemetry.emit(
@@ -469,6 +598,8 @@ def run_sweep(
             executed=report.executed,
             failed=report.failed,
             elapsed_s=report.elapsed_s,
+            heartbeat_drops=report.heartbeat_drops,
+            interrupted=report.interrupted,
             summary=report.summary(),
         )
     return report

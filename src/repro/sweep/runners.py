@@ -31,16 +31,33 @@ text.
 from __future__ import annotations
 
 import os
+import signal
+import threading
+from contextlib import contextmanager
 from dataclasses import asdict
+from pathlib import Path
 from typing import Callable, Dict, Mapping, Optional
 
 from ..core.system import build_system
 from ..resilience.faults import FaultConfig, FaultSite, ScheduledFault
 from ..sim.config import DdrGeneration, NocDesign, SystemConfig
+from ..sim.rng import derive_rng
 
 #: Jobs this process has finished — the heartbeat progress counter.
 #: Plain module state: each forked worker owns its copy.
 _jobs_done = 0
+
+#: Heartbeat/job_start emissions this process dropped on OSError.  The
+#: drops stay non-fatal (telemetry is never load-bearing) but are now
+#: *counted*: :func:`~repro.sweep.orchestrator.execute_job` folds the
+#: delta into its payload and the sweep report surfaces the total, so a
+#: full stream disk or bad path no longer silently blinds the monitor.
+_heartbeat_drops = 0
+
+
+def heartbeat_drops() -> int:
+    """This process's dropped-emission count (monotonic)."""
+    return _heartbeat_drops
 
 
 def worker_job_started(
@@ -51,8 +68,10 @@ def worker_job_started(
     Workers append single lines to the shared stream file themselves
     (``O_APPEND``), so the monitor sees a job the moment a worker picks
     it up — not only when the parent collects the result.  Telemetry is
-    never load-bearing: emission failures are swallowed.
+    never load-bearing: emission failures are swallowed, but counted in
+    :func:`heartbeat_drops`.
     """
+    global _heartbeat_drops
     from ..obs.stream import append_record
 
     try:
@@ -66,14 +85,14 @@ def worker_job_started(
             phase="start",
         )
     except OSError:
-        pass
+        _heartbeat_drops += 1
 
 
 def worker_job_finished(
     telemetry_path: str, key: str, label: str, status: str
 ) -> None:
     """Count the finished job and emit the worker's heartbeat."""
-    global _jobs_done
+    global _jobs_done, _heartbeat_drops
     _jobs_done += 1
     from ..obs.stream import append_record
 
@@ -84,18 +103,114 @@ def worker_job_finished(
             phase="done", status=status,
         )
     except OSError:
-        pass
+        _heartbeat_drops += 1
 
 
 class JobFailure(Exception):
-    """A runner-reported failure, optionally with a partial result."""
+    """A runner-reported failure, optionally with a partial result.
+
+    ``attempts`` and ``traceback`` are stamped by the execution boundary
+    (:func:`~repro.sweep.orchestrator.execute_job`) so the stored record
+    says how many executions it took and what the last one looked like.
+    """
 
     def __init__(
-        self, error: str, result: Optional[Mapping[str, object]] = None
+        self,
+        error: str,
+        result: Optional[Mapping[str, object]] = None,
+        attempts: int = 1,
+        traceback: Optional[str] = None,
     ) -> None:
         super().__init__(error)
         self.error = error
         self.result = dict(result) if result is not None else None
+        self.attempts = attempts
+        self.traceback = traceback
+
+
+class JobTimeout(Exception):
+    """A runner exceeded its wall-clock deadline (see :func:`job_deadline`)."""
+
+
+@contextmanager
+def job_deadline(seconds: Optional[float]):
+    """Raise :class:`JobTimeout` if the body runs longer than ``seconds``.
+
+    Implemented with ``SIGALRM`` — the only way to interrupt a CPU-bound
+    simulation loop from within the same process.  Worker processes run
+    jobs on their main thread, where signal delivery works; off the main
+    thread (or with ``seconds=None``/non-POSIX) the deadline degrades to
+    a no-op rather than failing the job.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def expire(signum, frame):
+        raise JobTimeout(f"job exceeded its {seconds:g}s deadline")
+
+    previous = signal.signal(signal.SIGALRM, expire)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def retry_backoff_s(
+    key: str,
+    attempt: int,
+    base_s: float = 0.25,
+    cap_s: float = 8.0,
+) -> float:
+    """Deterministic jittered exponential backoff before retry ``attempt``.
+
+    Exponential in the attempt number, jittered to de-thunder a pool of
+    workers retrying together — but the jitter is *derived* from the job
+    key (via the same SHA-256 stream derivation every other seed in the
+    repo uses), not wall-clock randomness, so a re-run of a sweep waits
+    the exact same delays and the retry schedule is reproducible.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    rng = derive_rng(0, "job-retry", key, attempt)
+    return min(cap_s, base_s * (2.0 ** (attempt - 1))) * (0.5 + rng.random())
+
+
+#: The job currently executing in this process, set by ``execute_job``:
+#: ``key`` plus the checkpoint policy the orchestrator was given.
+#: Runners that support mid-job snapshots (``metrics``) read it to find
+#: where to save/resume; plain module state, per-process like
+#: ``_jobs_done``.
+_active_job: Dict[str, object] = {}
+
+
+@contextmanager
+def job_context(
+    key: str,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+):
+    """Install the per-job execution context around one runner call."""
+    previous = dict(_active_job)
+    _active_job.clear()
+    _active_job.update(
+        key=key,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+    )
+    try:
+        yield
+    finally:
+        _active_job.clear()
+        _active_job.update(previous)
 
 
 #: kind -> runner. Workers resolve kinds here; register new experiment
@@ -193,10 +308,57 @@ def metrics_job(config: SystemConfig, label: Optional[str] = None):
 
 @register_runner("metrics")
 def run_metrics_job(params: Mapping[str, object]) -> Dict[str, object]:
-    """Simulate one configuration; result = RunMetrics fields."""
+    """Simulate one configuration; result = RunMetrics fields.
+
+    When the orchestrator supplies a checkpoint policy (``execute_job``
+    sets it in the job context), the run snapshots to
+    ``<checkpoint_dir>/<job_key>.ckpt`` every ``checkpoint_every``
+    cycles, resumes from a valid existing snapshot (a SIGKILLed worker's
+    partial progress), and deletes the snapshot on success.  The
+    checkpoint-identity guarantee makes the resumed result bit-identical
+    to an uninterrupted run, so caching semantics are unchanged.
+    """
     config = config_from_payload(params)
-    system = build_system(config)
-    metrics = system.run()
+    checkpoint_dir = _active_job.get("checkpoint_dir")
+    if not checkpoint_dir:
+        system = build_system(config)
+        metrics = system.run()
+        return asdict(metrics)
+
+    from ..sim.checkpoint import (
+        CheckpointError,
+        load_checkpoint,
+        save_checkpoint,
+    )
+    from ..sim.stats import RunMetrics
+
+    path = Path(checkpoint_dir) / f"{_active_job.get('key', 'job')}.ckpt"
+    system = None
+    if path.exists():
+        try:
+            system = load_checkpoint(path)
+        except CheckpointError:
+            # Invalid snapshot (torn write from the crash itself):
+            # discard it and start the job over.
+            system = None
+    if system is None:
+        system = build_system(config)
+    every = _active_job.get("checkpoint_every") or max(1, config.cycles // 4)
+
+    def snapshot(cycle: int) -> bool:
+        save_checkpoint(path, system)
+        return False  # keep running
+
+    system.simulator.run(
+        max(0, config.cycles - system.simulator.cycle),
+        checkpoint_every=every,
+        on_checkpoint=snapshot,
+    )
+    metrics = RunMetrics.from_collector(system.stats, system.simulator.cycle)
+    try:
+        path.unlink()
+    except OSError:
+        pass
     return asdict(metrics)
 
 

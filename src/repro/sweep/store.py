@@ -24,9 +24,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
+import os
 import time
 from pathlib import Path
 from typing import Dict, Iterator, List, Mapping, Optional, Union
+
+logger = logging.getLogger(__name__)
 
 #: Bump when simulator semantics change without a config change; every
 #: key — and therefore every cached result — is invalidated at once.
@@ -63,8 +67,15 @@ def make_record(
     result: Optional[Mapping[str, object]],
     error: Optional[str] = None,
     elapsed_s: float = 0.0,
+    attempts: int = 1,
+    traceback: Optional[str] = None,
 ) -> Dict[str, object]:
-    """One store row: job identity plus outcome."""
+    """One store row: job identity plus outcome.
+
+    ``attempts`` counts executions including retries; ``traceback`` is
+    the last failure's formatted traceback (``None`` for ok rows), so a
+    failed row is debuggable without re-running the job.
+    """
     if status not in ("ok", "failed"):
         raise ValueError(f"unknown record status {status!r}")
     return {
@@ -76,6 +87,8 @@ def make_record(
         "status": status,
         "result": dict(result) if result is not None else None,
         "error": error,
+        "attempts": int(attempts),
+        "traceback": traceback,
         "elapsed_s": round(float(elapsed_s), 6),
         "stored_at": time.time(),
     }
@@ -88,10 +101,22 @@ class ResultStore:
     ``put`` is also appended to the file immediately, so an interrupted
     sweep loses at most the in-flight job and a re-run resumes from the
     last completed point for free.
+
+    ``fsync=True`` additionally fsyncs every append, shrinking the
+    at-most-one-job loss window from "whatever the page cache held" to
+    zero even across a power failure — at the cost of one disk flush per
+    record.  A crash can still leave a *partial* final line (the append
+    itself is not atomic); :meth:`repair` truncates such a tail
+    explicitly instead of skipping it on every future load.
     """
 
-    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        fsync: bool = False,
+    ) -> None:
         self.path = Path(path) if path is not None else None
+        self.fsync = fsync
         self._index: Dict[str, Dict[str, object]] = {}
         #: Lookup counters — `repro sweep` and `repro all` report these.
         self.hits = 0
@@ -137,6 +162,55 @@ class ResultStore:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             with self.path.open("a", encoding="utf-8") as handle:
                 handle.write(json.dumps(record) + "\n")
+                if self.fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+
+    def repair(self) -> int:
+        """Truncate a corrupt tail off the backing file; returns the
+        number of bytes removed.
+
+        A crash mid-append (or a torn filesystem) can leave a partial
+        final line.  :meth:`_load` already *skips* unparsable lines, but
+        skipping leaves the damage in place — every future load re-counts
+        it and a resumed sweep appends after garbage.  ``repair`` scans
+        the file, keeps the longest valid prefix (corruption anywhere
+        invalidates that line and everything after it — an append-only
+        log has no valid data past its first tear), truncates in place,
+        and rebuilds the index from the surviving records.
+        """
+        if self.path is None or not self.path.exists():
+            return 0
+        valid_bytes = 0
+        survivors: Dict[str, Dict[str, object]] = {}
+        with self.path.open("rb") as handle:
+            for line in handle:
+                if not line.endswith(b"\n"):
+                    break
+                stripped = line.strip()
+                if stripped:
+                    try:
+                        record = json.loads(stripped.decode("utf-8"))
+                        key = record["key"]
+                    except (ValueError, TypeError, KeyError,
+                            UnicodeDecodeError):
+                        break
+                    survivors[key] = record
+                valid_bytes += len(line)
+        total = self.path.stat().st_size
+        removed = total - valid_bytes
+        if removed:
+            with self.path.open("rb+") as handle:
+                handle.truncate(valid_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+            logger.warning(
+                "repaired %s: truncated %d corrupt byte(s), "
+                "%d record(s) survive", self.path, removed, len(survivors),
+            )
+        self._index = survivors
+        self.corrupt_lines = 0
+        return removed
 
     def records(self) -> List[Dict[str, object]]:
         return list(self._index.values())

@@ -1,0 +1,411 @@
+"""Checkpoint/restore: golden resume identity and snapshot integrity.
+
+The contract under test (see :mod:`repro.sim.checkpoint`): for any
+cycle k, ``run(N)`` and ``run(k); save; load; run(N-k)`` are
+bit-identical — same metrics, same resilience ledger, same trace-event
+stream — on every dispatch tier, clean and faulty, for both NoC
+designs.  Alongside the identity, the snapshot file format itself:
+atomic writes, CRC/schema/truncation rejection with precise errors,
+and newest-valid selection.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.core.system import build_system
+from repro.resilience.faults import FaultConfig
+from repro.resilience.watchdog import RequestWatchdog
+from repro.sim.checkpoint import (
+    MAGIC,
+    SCHEMA_VERSION,
+    CheckpointError,
+    latest_checkpoint,
+    load_checkpoint,
+    read_header,
+    save_checkpoint,
+)
+from repro.sim.config import NocDesign, SystemConfig
+from repro.sim.stats import RunMetrics
+
+CYCLES = 1_800
+WARMUP = 300
+MID = 700  # mid-run split: inside warmup-adjacent steady state
+
+FAULTS = FaultConfig(link_corrupt_rate=1e-3, sdram_bit_rate=1e-3)
+
+
+def _config(design, faults) -> SystemConfig:
+    return SystemConfig(
+        app="single_dtv", cycles=CYCLES, warmup=WARMUP,
+        design=design, seed=2010, faults=faults,
+    )
+
+
+def _forced(mode: str, simulator) -> None:
+    """Pin ``simulator`` to one dispatch tier (see engine module docs).
+    Re-applied after every load: restore re-derives dispatch state."""
+    if mode == "naive":
+        simulator.idle_skip = False
+    elif mode == "stepped":
+        simulator._all_event = False
+    else:
+        assert mode == "event"
+
+
+def _observe(system) -> dict:
+    """Metrics plus the full resilience ledger, for exact comparison."""
+    observed = dataclasses.asdict(
+        RunMetrics.from_collector(system.stats, system.simulator.cycle)
+    )
+    resilience = system.resilience
+    if resilience is not None:
+        observed["resilience"] = {
+            "recovered": resilience.recovered,
+            "failed_faults": resilience.failed_faults,
+            "crc_retries": resilience.crc_retries,
+            "dram_rereads": resilience.dram_reread_count,
+            "watchdog_reissues": resilience.watchdog_reissues,
+            "failed_requests": resilience.failed_requests,
+            "stale_responses": resilience.stale_responses,
+            "injected": dict(resilience.injector.injected),
+        }
+    return observed
+
+
+def _diffs(a: dict, b: dict) -> dict:
+    return {key: (a[key], b[key]) for key in a if a[key] != b[key]}
+
+
+# ---------------------------------------------------------------------- #
+# Golden resume identity
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("mode", ["event", "stepped", "naive"])
+@pytest.mark.parametrize("design", [NocDesign.GSS_SAGM, NocDesign.CONV])
+@pytest.mark.parametrize("faults", [None, FAULTS], ids=["clean", "faulty"])
+def test_resume_identity_all_tiers(tmp_path, mode, design, faults):
+    """run(N) == run(k); save; load; run(N-k) for k in {0, mid-run},
+    bit-identically, on every dispatch tier."""
+    baseline = build_system(_config(design, faults))
+    _forced(mode, baseline.simulator)
+    baseline.simulator.run(CYCLES)
+    assert baseline.simulator.last_dispatch_mode == mode
+    expected = _observe(baseline)
+
+    for k in (0, MID):
+        system = build_system(_config(design, faults))
+        _forced(mode, system.simulator)
+        system.simulator.run(k)
+        path = save_checkpoint(tmp_path / f"k{k}.ckpt", system)
+        restored = load_checkpoint(path)
+        _forced(mode, restored.simulator)
+        restored.simulator.run(CYCLES - k)
+        assert restored.simulator.cycle == CYCLES
+        if k > 0:
+            assert restored.simulator.last_dispatch_mode == mode
+        diffs = _diffs(_observe(restored), expected)
+        assert not diffs, f"resume at k={k} diverged ({mode}): {diffs}"
+
+
+@pytest.mark.parametrize("mode", ["event", "stepped", "naive"])
+@pytest.mark.parametrize("design", [NocDesign.GSS_SAGM, NocDesign.CONV])
+@pytest.mark.parametrize("faults", [None, FAULTS], ids=["clean", "faulty"])
+def test_resume_identity_post_drain(tmp_path, mode, design, faults):
+    """A snapshot taken after drain-to-quiescence resumes exactly: the
+    extended run fast-forwards the same idle horizon and metrics match a
+    never-serialized continuation."""
+    extra = 5_000
+
+    def run_drain(system):
+        _forced(mode, system.simulator)
+        system.simulator.run(CYCLES)
+        system.drain()
+
+    baseline = build_system(_config(design, faults))
+    run_drain(baseline)
+    baseline.simulator.run(extra)
+    expected = _observe(baseline)
+
+    system = build_system(_config(design, faults))
+    run_drain(system)
+    restored = load_checkpoint(
+        save_checkpoint(tmp_path / "drained.ckpt", system)
+    )
+    _forced(mode, restored.simulator)
+    before = restored.simulator.fast_forwarded_cycles
+    restored.simulator.run(extra)
+    diffs = _diffs(_observe(restored), expected)
+    assert not diffs, f"post-drain resume diverged ({mode}): {diffs}"
+    if mode != "naive":
+        # Restoration must not inhibit fast-forward: the quiescent
+        # horizon is still jumped, not stepped.
+        jumped = restored.simulator.fast_forwarded_cycles - before
+        assert jumped > extra * 0.9
+
+
+@pytest.mark.parametrize("design", [NocDesign.GSS_SAGM, NocDesign.CONV])
+def test_resume_trace_stream_bit_identical(tmp_path, design):
+    """The post-resume trace-event stream continues the pre-save stream
+    exactly — compared field-by-field (TraceEvent has no __eq__)."""
+    from repro.obs import MemoryTracer
+
+    def events(system):
+        return [event.to_dict() for event in system.tracer.events]
+
+    baseline = build_system(_config(design, FAULTS), tracer=MemoryTracer())
+    baseline.simulator.run(CYCLES)
+
+    system = build_system(_config(design, FAULTS), tracer=MemoryTracer())
+    system.simulator.run(MID)
+    restored = load_checkpoint(
+        save_checkpoint(tmp_path / "trace.ckpt", system)
+    )
+    restored.simulator.run(CYCLES - MID)
+    assert events(restored) == events(baseline)
+
+
+def test_resume_identity_with_sampler(tmp_path):
+    """A snapshot carries its time-series sampler (windows intact); the
+    resumed run keeps sampling on the event tier, stays metrics-
+    bit-identical to a straight run, and its sample stream matches an
+    unserialized run split at the same cycle (the sampler flushes a
+    partial window at every run exit, serialized or not)."""
+    def build():
+        system = build_system(_config(NocDesign.GSS_SAGM, None))
+        system.attach_sampler(250, capacity=64)
+        return system
+
+    straight = build()
+    straight.simulator.run(CYCLES)
+
+    split = build()
+    split.simulator.run(MID)
+    split.simulator.run(CYCLES - MID)
+
+    system = build()
+    system.simulator.run(MID)
+    restored = load_checkpoint(
+        save_checkpoint(tmp_path / "sampled.ckpt", system)
+    )
+    restored.simulator.run(CYCLES - MID)
+    assert restored.simulator.last_dispatch_mode == "event"
+    assert not _diffs(_observe(restored), _observe(straight))
+    assert [s.cycle for s in restored.sampler.samples] == [
+        s.cycle for s in split.sampler.samples
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# checkpoint_every segmentation
+# ---------------------------------------------------------------------- #
+
+
+def test_checkpoint_every_calls_back_on_schedule():
+    system = build_system(_config(NocDesign.GSS_SAGM, None))
+    seen = []
+    system.run(2_000, checkpoint_every=300, on_checkpoint=seen.append)
+    assert seen == [300, 600, 900, 1200, 1500, 1800, 2000]
+
+
+def test_checkpoint_every_preserves_metrics_and_fast_forward():
+    plain = build_system(_config(NocDesign.GSS_SAGM, None))
+    plain.simulator.run(CYCLES)
+    plain.drain()
+    plain.simulator.run(6_000)
+
+    segmented = build_system(_config(NocDesign.GSS_SAGM, None))
+    segmented.simulator.run(CYCLES, checkpoint_every=137)
+    segmented.drain()
+    segmented.simulator.run(6_000, checkpoint_every=137)
+    assert not _diffs(_observe(segmented), _observe(plain))
+    # Segmentation must not inhibit fast-forward: jumps are clamped to
+    # segment ends (one stepped cycle per boundary), so the drained
+    # horizon is still almost entirely elided, never stepped through.
+    boundaries = 6_000 // 137 + CYCLES // 137 + 2
+    assert (
+        segmented.simulator.fast_forwarded_cycles
+        >= plain.simulator.fast_forwarded_cycles - boundaries
+    )
+
+
+def test_on_checkpoint_true_stops_the_run():
+    system = build_system(_config(NocDesign.GSS_SAGM, None))
+    system.run(2_000, checkpoint_every=400, on_checkpoint=lambda c: c >= 800)
+    assert system.simulator.cycle == 800
+
+
+def test_run_argument_validation():
+    system = build_system(_config(NocDesign.GSS_SAGM, None))
+    with pytest.raises(ValueError):
+        system.simulator.run(-1)
+    with pytest.raises(ValueError):
+        system.simulator.run(100, checkpoint_every=0)
+
+
+# ---------------------------------------------------------------------- #
+# Snapshot file integrity
+# ---------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def snapshot(tmp_path_factory):
+    """One real snapshot shared by the integrity tests (cheap reads)."""
+    system = build_system(_config(NocDesign.GSS_SAGM, None))
+    system.simulator.run(400)
+    path = tmp_path_factory.mktemp("ckpt") / "base.ckpt"
+    save_checkpoint(path, system, meta={"note": "integrity"})
+    return path
+
+
+class TestSnapshotFile:
+    def test_header_round_trip(self, snapshot):
+        header = read_header(snapshot)
+        assert header["schema"] == SCHEMA_VERSION
+        assert header["cycle"] == 400
+        assert header["meta"] == {"note": "integrity"}
+        assert header["label"]  # config label recorded
+
+    def test_write_is_atomic_no_temp_residue(self, snapshot):
+        leftovers = [
+            p for p in snapshot.parent.iterdir() if ".tmp." in p.name
+        ]
+        assert leftovers == []
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "not.ckpt"
+        path.write_bytes(b"JUNKJUNK" + b"\x00" * 64)
+        with pytest.raises(CheckpointError, match="not a repro checkpoint"):
+            load_checkpoint(path)
+
+    def test_truncated_payload_rejected(self, snapshot, tmp_path):
+        path = tmp_path / "trunc.ckpt"
+        path.write_bytes(snapshot.read_bytes()[:-64])
+        with pytest.raises(CheckpointError, match="truncated"):
+            load_checkpoint(path)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = tmp_path / "short.ckpt"
+        path.write_bytes(MAGIC + b"\x01")
+        with pytest.raises(CheckpointError, match="truncated"):
+            read_header(path)
+
+    def test_bit_flip_fails_crc(self, snapshot, tmp_path):
+        raw = bytearray(snapshot.read_bytes())
+        raw[-20] ^= 0xFF
+        path = tmp_path / "flipped.ckpt"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="CRC"):
+            load_checkpoint(path)
+
+    def test_schema_mismatch_is_explicit(self, tmp_path):
+        import json
+        import struct
+        import zlib
+
+        payload = b"x"
+        header = json.dumps({
+            "schema": SCHEMA_VERSION + 7,
+            "crc32": zlib.crc32(payload),
+            "payload_bytes": 1,
+        }).encode()
+        path = tmp_path / "future.ckpt"
+        path.write_bytes(
+            MAGIC + struct.pack("<I", len(header)) + header + payload
+        )
+        with pytest.raises(CheckpointError, match="schema"):
+            load_checkpoint(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(tmp_path / "absent.ckpt")
+
+    def test_unserializable_system_rejected_cleanly(self, tmp_path):
+        with pytest.raises(CheckpointError, match="not serializable"):
+            save_checkpoint(tmp_path / "bad.ckpt", lambda: None)
+
+    def test_latest_checkpoint_picks_newest_valid(self, tmp_path):
+        for cycles, name in [(200, "old"), (600, "new")]:
+            system = build_system(_config(NocDesign.GSS_SAGM, None))
+            system.simulator.run(cycles)
+            save_checkpoint(tmp_path / f"{name}.ckpt", system)
+        (tmp_path / "corrupt.ckpt").write_bytes(b"REPROCKPgarbage")
+        best = latest_checkpoint(tmp_path)
+        assert best is not None and best.name == "new.ckpt"
+
+    def test_latest_checkpoint_none_when_nothing_valid(self, tmp_path):
+        (tmp_path / "junk.ckpt").write_bytes(b"nope")
+        assert latest_checkpoint(tmp_path) is None
+
+
+# ---------------------------------------------------------------------- #
+# Engine serialization plumbing
+# ---------------------------------------------------------------------- #
+
+
+def test_plain_pickle_round_trip_equivalent():
+    """The checkpoint file format wraps ordinary pickling: a raw pickle
+    round-trip must already resume exactly (the engine's lazy rebind)."""
+    baseline = build_system(_config(NocDesign.GSS_SAGM, FAULTS))
+    baseline.simulator.run(CYCLES)
+
+    system = build_system(_config(NocDesign.GSS_SAGM, FAULTS))
+    system.simulator.run(MID)
+    restored = pickle.loads(pickle.dumps(system))
+    restored.simulator.run(CYCLES - MID)
+    assert not _diffs(_observe(restored), _observe(baseline))
+
+
+def test_watchdog_on_hang_hook_fires_and_is_not_load_bearing():
+    """The hang hook fires once per exhausted request with (cycle,
+    parent, master); a raising hook is swallowed (never load-bearing);
+    the hook is dropped from snapshots."""
+
+    class Tracker:
+        last_activity = 0
+
+    class Generator:
+        master = 3
+
+    class Interface:
+        _reassembly = {17: Tracker()}
+        generator = Generator()
+
+    class Controller:
+        def __init__(self):
+            self.failed = []
+
+        def fail_request(self, cycle, parent, master, reason):
+            self.failed.append((cycle, parent, master, reason))
+
+    controller = Controller()
+    interface = Interface()
+    watchdog = RequestWatchdog(
+        controller, [interface],
+        FaultConfig(watchdog_timeout=10, watchdog_retry_limit=0),
+    )
+    calls = []
+    watchdog.on_hang = lambda cycle, parent, master: calls.append(
+        (cycle, parent, master)
+    )
+    watchdog.tick(64)
+    assert controller.failed == [(64, 17, 3, "watchdog")]
+    assert calls == [(64, 17, 3)]
+
+    # Raising hook: logged, never propagated.
+    def explode(cycle, parent, master):
+        raise RuntimeError("post-mortem hook bug")
+
+    interface._reassembly = {18: Tracker()}
+    watchdog.on_hang = explode
+    watchdog.tick(128)  # must not raise
+    assert controller.failed[-1][1] == 18
+
+
+def test_watchdog_on_hang_hook_dropped_from_snapshots():
+    system = build_system(_config(NocDesign.GSS_SAGM, FAULTS))
+    system.watchdog.on_hang = lambda cycle, parent, master: None
+    restored = pickle.loads(pickle.dumps(system))
+    assert restored.watchdog.on_hang is None

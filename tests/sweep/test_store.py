@@ -132,3 +132,69 @@ class TestStore:
         lines = path.read_text().strip().splitlines()
         assert len(lines) == 1
         assert json.loads(lines[0])["kind"] == "echo"
+
+    def test_fsync_append_is_functional(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        record = record_for(PARAMS)
+        ResultStore(path, fsync=True).put(record)
+        assert ResultStore(path).get(record["key"]) == record
+
+
+class TestRepair:
+    def put_two(self, path):
+        store = ResultStore(path)
+        a = record_for(PARAMS)
+        b = record_for({**PARAMS, "seed": 2011})
+        store.put(a)
+        store.put(b)
+        return a, b
+
+    def test_truncates_unterminated_tail(self, tmp_path, caplog):
+        path = tmp_path / "store.jsonl"
+        self.put_two(path)
+        clean_size = path.stat().st_size
+        with path.open("a") as handle:
+            handle.write('{"key": "abc", "trunca')  # no newline: torn
+        store = ResultStore(path)
+        assert store.corrupt_lines == 1
+        with caplog.at_level("WARNING", logger="repro.sweep.store"):
+            removed = store.repair()
+        assert removed == len('{"key": "abc", "trunca')
+        assert path.stat().st_size == clean_size
+        assert len(store) == 2 and store.corrupt_lines == 0
+        assert "truncated" in caplog.text and "22" in caplog.text
+        # Fresh load after repair sees no damage.
+        assert ResultStore(path).corrupt_lines == 0
+
+    def test_everything_after_first_tear_dropped(self, tmp_path):
+        # An append-only log has no valid data past its first corrupt
+        # line — even a parseable record after it is suspect.
+        path = tmp_path / "store.jsonl"
+        a, _ = self.put_two(path)
+        clean_size = path.stat().st_size
+        with path.open("r+") as handle:
+            lines = handle.readlines()
+        with path.open("w") as handle:
+            handle.write(lines[0])
+            handle.write("not json at all\n")
+            handle.write(lines[1])
+        store = ResultStore(path)
+        removed = store.repair()
+        assert removed == len("not json at all\n") + len(lines[1])
+        # Only the pre-tear record survives.
+        assert len(store) == 1
+        assert store.get(a["key"]) == a
+        assert clean_size > path.stat().st_size
+
+    def test_clean_file_is_a_noop(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        a, b = self.put_two(path)
+        size = path.stat().st_size
+        store = ResultStore(path)
+        assert store.repair() == 0
+        assert path.stat().st_size == size
+        assert store.get(a["key"]) == a and store.get(b["key"]) == b
+
+    def test_memory_store_and_missing_file_are_noops(self, tmp_path):
+        assert ResultStore().repair() == 0
+        assert ResultStore(tmp_path / "never-written.jsonl").repair() == 0
