@@ -50,6 +50,17 @@ def _ddr(value: str) -> DdrGeneration:
     raise argparse.ArgumentTypeError(f"unknown DDR generation {value!r}")
 
 
+def _arbiter(value: str) -> str:
+    from .dram.scheduler import registered_backends
+
+    if value not in registered_backends():
+        raise argparse.ArgumentTypeError(
+            f"unknown memory-arbiter backend {value!r}; choose from "
+            f"{registered_backends()}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -195,6 +206,35 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--warmup", type=int, default=None)
     fig.add_argument("--seeds", type=int, nargs="+", default=None)
     fig.add_argument("--max-routers", type=int, default=None)
+
+    arbiters_cmd = sub.add_parser(
+        "arbiters",
+        help="memory-arbiter comparison: sweep the Scheduler backends "
+        "over the (app x DDR) grid at a fixed NoC design, with a WCET "
+        "column (measured p100 vs analytic bound)",
+    )
+    arbiters_cmd.add_argument(
+        "--arbiters", type=_arbiter, nargs="+", default=None,
+        metavar="BACKEND",
+        help="backends to compare (default: every builtin)",
+    )
+    arbiters_cmd.add_argument(
+        "--design", type=_design, default=NocDesign.GSS_SAGM,
+        help="fixed NoC design for every cell (default gss+sagm)",
+    )
+    arbiters_cmd.add_argument("--priority", action="store_true")
+    arbiters_cmd.add_argument(
+        "--apps", nargs="+", default=None, metavar="APP",
+        help="restrict the application rows (default: all three)",
+    )
+    arbiters_cmd.add_argument("--cycles", type=int, default=None)
+    arbiters_cmd.add_argument("--warmup", type=int, default=None)
+    arbiters_cmd.add_argument("--seeds", type=int, nargs="+", default=None)
+    arbiters_cmd.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="serve/record cells through a content-addressed result "
+        "store (shared with `repro sweep` and `repro all`)",
+    )
 
     everything = sub.add_parser("all", help="regenerate every exhibit")
     everything.add_argument("--cycles", type=int, default=None)
@@ -388,6 +428,11 @@ def _add_config_args(
     parser.add_argument("--warmup", type=int, default=default_warmup)
     parser.add_argument("--seed", type=int, default=2010)
     parser.add_argument("--pct", type=int, default=5)
+    parser.add_argument(
+        "--arbiter", type=_arbiter, default=None, metavar="BACKEND",
+        help="memory-arbiter backend (engine | memmax | databahn | dpq | "
+        "bank-reg); default: the design-matched subsystem",
+    )
     parser.add_argument("--priority", action="store_true")
     parser.add_argument("--sti", action="store_true")
     parser.add_argument("--adaptive", action="store_true")
@@ -434,6 +479,7 @@ def _config_from(args) -> SystemConfig:
         link_buffer_flits=args.link_buffers,
         faults=faults,
         check_invariants=getattr(args, "check_invariants", False),
+        arbiter=getattr(args, "arbiter", None),
     )
 
 
@@ -597,6 +643,12 @@ def _cmd_run(args) -> int:
     print(f"latency (dem) : {metrics.latency_demand:.1f} cycles")
     print(f"row-hit rate  : {metrics.row_hit_rate:.2f}")
     print(f"completed     : {metrics.completed} requests")
+    if metrics.service_p100:
+        bound = (
+            f" (analytic bound {metrics.wcet_bound:.0f})"
+            if metrics.wcet_bound is not None else ""
+        )
+        print(f"service p100  : {metrics.service_p100:.0f} cycles{bound}")
     if args.percentiles:
         series = system.stats.all_packets
         if series.count:
@@ -796,13 +848,16 @@ def _grid_value(field: str, text: str):
         raise argparse.ArgumentTypeError(
             f"{field} expects a boolean, got {text!r}"
         )
+    if field == "arbiter":
+        return _arbiter(text)
     if field == "fault_rate":
         return float(text)
     if field in _SWEEP_INT_FIELDS:
         return int(text)
     raise argparse.ArgumentTypeError(
-        f"unknown sweep field {field!r}; sweepable fields: app, design, "
-        f"ddr, fault_rate, {', '.join(sorted(_SWEEP_BOOL_FIELDS | _SWEEP_INT_FIELDS))}"
+        f"unknown sweep field {field!r}; sweepable fields: app, arbiter, "
+        f"design, ddr, fault_rate, "
+        f"{', '.join(sorted(_SWEEP_BOOL_FIELDS | _SWEEP_INT_FIELDS))}"
     )
 
 
@@ -1082,6 +1137,32 @@ def main(argv: Optional[List[str]] = None) -> int:
             refresh_s=args.refresh,
             max_seconds=args.max_seconds,
         )
+    elif args.command == "arbiters":
+        from .experiments.comparison import (
+            run_arbiter_comparison,
+            render_arbiter_comparison,
+        )
+
+        kwargs = _seeds(args)
+        if args.arbiters is not None:
+            kwargs["arbiters"] = tuple(args.arbiters)
+        if args.apps is not None:
+            kwargs["apps"] = tuple(args.apps)
+        if args.store is not None:
+            from .experiments.runner import cached_runs
+            from .sweep.store import ResultStore
+
+            with cached_runs(ResultStore(args.store)):
+                result = run_arbiter_comparison(
+                    design=args.design, priority=args.priority, **kwargs
+                )
+        else:
+            result = run_arbiter_comparison(
+                design=args.design, priority=args.priority, **kwargs
+            )
+        print(render_arbiter_comparison(result))
+        if result.bound_violations():
+            return 1
     elif args.command == "sweep":
         return _cmd_sweep(args)
     elif args.command == "all":

@@ -268,7 +268,9 @@ class SocSystem:
             checkpoint_every=checkpoint_every,
             on_checkpoint=on_checkpoint,
         )
-        return RunMetrics.from_collector(self.stats, self.simulator.cycle)
+        return RunMetrics.from_collector(
+            self.stats, self.simulator.cycle, scheduler=self.subsystem
+        )
 
     def drain(self, max_cycles: int = 50_000) -> bool:
         """Stop traffic generation and fault injection, then run until
@@ -361,6 +363,11 @@ class SocSystem:
         if scheduler is not None:
             for index, wins in enumerate(scheduler.thread_wins):
                 registry.counter(f"dram.memmax.thread{index}.wins").inc(wins)
+        # The Scheduler-protocol stats surface: every backend exports a
+        # flat dict (service-latency series, analytic bound when present,
+        # backend-specific counters) under one dotted prefix.
+        for key, value in sorted(self.subsystem.scheduler_stats().items()):
+            registry.gauge(f"dram.scheduler.{key}").set(value)
         for interface in self.core_interfaces:
             master = interface.generator.master
             registry.counter(f"ni.core{master}.injected").inc(

@@ -2,19 +2,31 @@
 
 from .address_map import AddressMap
 from .bank import Bank, BankState, TimingViolation
+from .bankreg import BankRegulatedScheduler
 from .commands import CommandKind, DramCommand
 from .controller import CommandEngine, FinishedRequest, PagePolicy, WindowEntry
 from .databahn import DATABAHN_LOOKAHEAD, DatabahnController
 from .device import BurstCompletion, SdramDevice
+from .dpq import DpqScheduler, dpq_latency_bound, service_slot_cycles
 from .memmax import MemMaxScheduler, ThreadQueue
 from .protocol import ProtocolChecker, Violation, audit_engine
 from .refresh import RefreshTimer
+from .scheduler import (
+    SCHEDULER_BACKENDS,
+    SCHEDULER_MEMBERS,
+    Scheduler,
+    SchedulerSeam,
+    register_scheduler,
+    registered_backends,
+    resolve_backend,
+)
 from .waveform import WaveformCapture, attach as attach_waveform
 from .request import MemoryRequest, ServiceClass
 from .subsystem import (
     ConvMemorySubsystem,
     ThinMemorySubsystem,
     build_memory_subsystem,
+    default_backend_for,
 )
 from .timing import GENERATION_TIMING, AnalogTiming, DramTiming
 
@@ -22,6 +34,7 @@ __all__ = [
     "AddressMap",
     "AnalogTiming",
     "Bank",
+    "BankRegulatedScheduler",
     "BankState",
     "BurstCompletion",
     "CommandEngine",
@@ -29,6 +42,7 @@ __all__ = [
     "ConvMemorySubsystem",
     "DATABAHN_LOOKAHEAD",
     "DatabahnController",
+    "DpqScheduler",
     "DramCommand",
     "DramTiming",
     "FinishedRequest",
@@ -38,6 +52,10 @@ __all__ = [
     "PagePolicy",
     "ProtocolChecker",
     "RefreshTimer",
+    "SCHEDULER_BACKENDS",
+    "SCHEDULER_MEMBERS",
+    "Scheduler",
+    "SchedulerSeam",
     "Violation",
     "WaveformCapture",
     "SdramDevice",
@@ -49,4 +67,10 @@ __all__ = [
     "attach_waveform",
     "audit_engine",
     "build_memory_subsystem",
+    "default_backend_for",
+    "dpq_latency_bound",
+    "register_scheduler",
+    "registered_backends",
+    "resolve_backend",
+    "service_slot_cycles",
 ]

@@ -12,29 +12,38 @@ Three subsystems appear in the paper's evaluation:
   the paper's Fig. 6 controller: partially-open-page policy driven by the
   SAGM auto-precharge tags (BL 4 mode on DDR I/II, BL 4/8 OTF on DDR III).
 
-All subsystems expose the same interface to the memory-side network
-interface: ``can_accept`` / ``enqueue`` for admission with backpressure,
-``tick`` issuing at most one SDRAM command per cycle, and
-``drain_finished`` reporting requests whose final data beat has completed.
+All subsystems are instances of the :class:`~repro.dram.scheduler.Scheduler`
+protocol: ``can_accept`` / ``enqueue`` for admission with backpressure,
+``tick`` issuing at most one SDRAM command per cycle, ``drain_finished``
+reporting requests whose final data beat has completed, plus the seam's
+bank-state query and stats surface.  This module registers the three
+paper-era backends (``engine``, ``memmax``, ``databahn``); the newer
+arbiters live in :mod:`repro.dram.dpq` and :mod:`repro.dram.bankreg`.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, Dict, List, Optional
 
 from ..sim.config import DdrGeneration, NocDesign, SystemConfig
 from ..sim.stats import StatsCollector
 from .controller import CommandEngine, FinishedRequest, PagePolicy
-from .databahn import DatabahnController
+from .databahn import DATABAHN_LOOKAHEAD, DatabahnController
 from .device import SdramDevice
 from .memmax import MemMaxScheduler
 from .request import MemoryRequest
+from .scheduler import SchedulerSeam, register_scheduler, resolve_backend
 from .timing import DramTiming
 
 
-class ThinMemorySubsystem:
-    """In-order SDRAM controller with a small input FIFO (Fig. 6 shell)."""
+class ThinMemorySubsystem(SchedulerSeam):
+    """In-order SDRAM controller with a small input FIFO (Fig. 6 shell).
+
+    ``engine`` substitutes a prebuilt command engine (the Databahn
+    backend passes its deep-lookahead subclass); when given, the
+    burst/page/window/otf arguments are ignored.
+    """
 
     def __init__(
         self,
@@ -45,11 +54,12 @@ class ThinMemorySubsystem:
         input_capacity: int = 4,
         window: int = 4,
         tracer=None,
+        engine: Optional[CommandEngine] = None,
     ) -> None:
         if input_capacity <= 0:
             raise ValueError("input_capacity must be positive")
         self.device = device
-        self.engine = CommandEngine(
+        self.engine = engine if engine is not None else CommandEngine(
             device,
             burst_beats=burst_beats,
             page_policy=page_policy,
@@ -60,6 +70,7 @@ class ThinMemorySubsystem:
         self.input_capacity = input_capacity
         self.queue: Deque[MemoryRequest] = deque()
         self.accepted = 0
+        self._init_seam()
 
     def can_accept(self, request: MemoryRequest) -> bool:
         return len(self.queue) < self.input_capacity
@@ -69,6 +80,7 @@ class ThinMemorySubsystem:
             raise RuntimeError("memory subsystem input queue full")
         self.queue.append(request)
         self.accepted += 1
+        self._note_admitted(request, cycle)
 
     def tick(self, cycle: int) -> None:
         while self.queue and self.engine.has_space:
@@ -77,7 +89,10 @@ class ThinMemorySubsystem:
         self.device.tick(cycle)
 
     def drain_finished(self) -> List[FinishedRequest]:
-        return self.engine.drain_finished()
+        done = self.engine.drain_finished()
+        if done:
+            self._note_finished(done)
+        return done
 
     @property
     def pending(self) -> int:
@@ -99,6 +114,12 @@ class ThinMemorySubsystem:
     @property
     def refresh(self):
         return self.engine.refresh
+
+    def scheduler_stats(self) -> Dict[str, float]:
+        stats = self._seam_stats()
+        stats["demand_precharges"] = float(self.engine.demand_precharges)
+        stats["accepted"] = float(self.accepted)
+        return stats
 
     def next_event_cycle(self, cycle: int) -> Optional[int]:
         """Event-dispatch: next cycle :meth:`tick` could do real work
@@ -135,7 +156,7 @@ class ThinMemorySubsystem:
         self.device.on_cycles_skipped(start, stop)
 
 
-class ConvMemorySubsystem:
+class ConvMemorySubsystem(SchedulerSeam):
     """MemMax thread scheduler + Databahn lookahead controller (CONV).
 
     Beyond the arbitration itself, the thread-based pipeline costs latency:
@@ -171,6 +192,7 @@ class ConvMemorySubsystem:
             device, burst_beats=burst_beats, tracer=tracer
         )
         self.accepted = 0
+        self._init_seam()
 
     def can_accept(self, request: MemoryRequest) -> bool:
         return self.scheduler.can_accept(request)
@@ -178,6 +200,7 @@ class ConvMemorySubsystem:
     def enqueue(self, request: MemoryRequest, cycle: int) -> None:
         self.scheduler.push(request)
         self.accepted += 1
+        self._note_admitted(request, cycle)
 
     def tick(self, cycle: int) -> None:
         while self.engine.has_space:
@@ -199,6 +222,8 @@ class ConvMemorySubsystem:
                     item.data_ready_cycle + self.PIPELINE_LATENCY + staging,
                 )
             )
+        if finished:
+            self._note_finished(finished)
         return finished
 
     @property
@@ -223,6 +248,14 @@ class ConvMemorySubsystem:
     @property
     def refresh(self):
         return self.engine.refresh
+
+    def scheduler_stats(self) -> Dict[str, float]:
+        stats = self._seam_stats()
+        stats["demand_precharges"] = float(self.engine.demand_precharges)
+        stats["accepted"] = float(self.accepted)
+        for index, wins in enumerate(self.scheduler.thread_wins):
+            stats[f"thread{index}.wins"] = float(wins)
+        return stats
 
     def next_event_cycle(self, cycle: int) -> Optional[int]:
         """Event-dispatch bound for the CONV pipeline.  MemMax arbitration
@@ -253,21 +286,55 @@ class ConvMemorySubsystem:
         self.device.on_cycles_skipped(start, stop)
 
 
-def build_memory_subsystem(
-    config: SystemConfig, stats: Optional[StatsCollector] = None, tracer=None
-):
-    """Construct device + subsystem matching ``config.design`` (Section V)."""
-    timing = DramTiming.for_clock(config.ddr, config.clock_mhz)
-    device = SdramDevice(timing, stats=stats, tracer=tracer)
-    design = config.design
-    if design in (NocDesign.CONV, NocDesign.CONV_PFS):
-        subsystem = ConvMemorySubsystem(
-            device,
-            burst_beats=8,
-            priority_first=design is NocDesign.CONV_PFS,
-            tracer=tracer,
-        )
-    elif design.uses_sagm:
+# --------------------------------------------------------------------- #
+# Backend factories (the paper-era schedulers)
+# --------------------------------------------------------------------- #
+
+@register_scheduler("memmax")
+def build_memmax_backend(
+    config: SystemConfig,
+    device: SdramDevice,
+    timing: DramTiming,
+    tracer=None,
+) -> ConvMemorySubsystem:
+    """MemMax 4-thread front-end over a Databahn lookahead engine —
+    the CONV memory subsystem (Section V)."""
+    return ConvMemorySubsystem(
+        device,
+        burst_beats=8,
+        priority_first=config.design.uses_pfs,
+        tracer=tracer,
+    )
+
+
+@register_scheduler("databahn")
+def build_databahn_backend(
+    config: SystemConfig,
+    device: SdramDevice,
+    timing: DramTiming,
+    tracer=None,
+) -> ThinMemorySubsystem:
+    """Databahn lookahead controller *without* the MemMax thread pipeline:
+    deep open-page lookahead fed in arrival order.  Isolates the value of
+    command lookahead from the thread-reorder front-end."""
+    return ThinMemorySubsystem(
+        device,
+        input_capacity=max(2, DATABAHN_LOOKAHEAD // 2),
+        tracer=tracer,
+        engine=DatabahnController(device, tracer=tracer),
+    )
+
+
+@register_scheduler("engine")
+def build_engine_backend(
+    config: SystemConfig,
+    device: SdramDevice,
+    timing: DramTiming,
+    tracer=None,
+) -> ThinMemorySubsystem:
+    """The paper's thin in-order controller; page policy and burst mode
+    follow the NoC design exactly as the pre-seam builder chose them."""
+    if config.design.uses_sagm:
         if config.ddr is DdrGeneration.DDR3:
             # DDR III: BL 8 with BL4/BL8 on-the-fly for trailing chunks.
             burst, otf = 8, True
@@ -279,7 +346,7 @@ def build_memory_subsystem(
         # data-time lookahead (entries are a few address bits each — far
         # cheaper than the reorder buffers the design removes).
         depth = _window_for(timing, burst)
-        subsystem = ThinMemorySubsystem(
+        return ThinMemorySubsystem(
             device,
             burst_beats=burst,
             page_policy=PagePolicy.PARTIALLY_OPEN,
@@ -288,18 +355,42 @@ def build_memory_subsystem(
             input_capacity=max(2, depth // 2),
             tracer=tracer,
         )
-    else:
-        # [4] and plain GSS: thin in-order controller, BL 8, open page.
-        depth = _window_for(timing, 8)
-        subsystem = ThinMemorySubsystem(
-            device,
-            burst_beats=8,
-            page_policy=PagePolicy.OPEN_PAGE,
-            window=depth,
-            input_capacity=max(2, depth // 2),
-            tracer=tracer,
-        )
-    return device, subsystem
+    # [4] and plain GSS: thin in-order controller, BL 8, open page.
+    depth = _window_for(timing, 8)
+    return ThinMemorySubsystem(
+        device,
+        burst_beats=8,
+        page_policy=PagePolicy.OPEN_PAGE,
+        window=depth,
+        input_capacity=max(2, depth // 2),
+        tracer=tracer,
+    )
+
+
+def default_backend_for(design: NocDesign) -> str:
+    """The design-matched backend: what Section V pairs with each NoC."""
+    if design in (NocDesign.CONV, NocDesign.CONV_PFS):
+        return "memmax"
+    return "engine"
+
+
+def build_memory_subsystem(
+    config: SystemConfig, stats: Optional[StatsCollector] = None, tracer=None
+):
+    """Construct device + scheduler backend for ``config``.
+
+    ``config.arbiter`` picks a registered backend by name;  ``None`` —
+    the default — resolves to the design-matched choice of Section V
+    (bit-identical to the pre-seam hard-wired builder).
+    """
+    timing = DramTiming.for_clock(config.ddr, config.clock_mhz)
+    device = SdramDevice(timing, stats=stats, tracer=tracer)
+    name = (
+        config.arbiter if config.arbiter is not None
+        else default_backend_for(config.design)
+    )
+    factory = resolve_backend(name)
+    return device, factory(config, device, timing, tracer)
 
 
 #: Data-time the thin controller's PRE/RAS/CAS pipeline looks ahead, in

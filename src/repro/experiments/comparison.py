@@ -1,15 +1,24 @@
-"""Shared machinery for the Table I / Table II design comparisons."""
+"""Shared machinery for the Table I / Table II design comparisons,
+plus the memory-arbiter comparison the scheduler seam enables: the same
+(application x DDR generation) grid swept over arbiter backends instead
+of NoC designs, with a WCET column pairing each backend's measured
+worst-case service latency against its analytic bound (when it has one —
+the DPQ arbiter's whole selling point)."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..sim.config import DdrGeneration, NocDesign, PAPER_CLOCK_POINTS
+from .report import format_table
 from .runner import AveragedMetrics, DEFAULT_SEEDS, experiment_config, run_averaged
 
 #: Metric keys reported per design in Tables I-III.
 METRICS = ("utilization", "latency_all", "latency_demand")
+
+#: The backends the arbiter comparison sweeps by default (every builtin).
+DEFAULT_ARBITERS = ("engine", "memmax", "databahn", "dpq", "bank-reg")
 
 
 @dataclass
@@ -92,3 +101,147 @@ def run_comparison(
                     ComparisonCell(app, ddr, mhz, design, metrics)
                 )
     return result
+
+
+# --------------------------------------------------------------------- #
+# Arbiter comparison (scheduler-seam axis)
+# --------------------------------------------------------------------- #
+
+@dataclass
+class ArbiterCell:
+    """One (application, clock, arbiter backend) measurement."""
+
+    app: str
+    ddr: DdrGeneration
+    clock_mhz: int
+    arbiter: str
+    metrics: AveragedMetrics
+
+    def value(self, metric: str) -> float:
+        return getattr(self.metrics, metric)
+
+
+@dataclass
+class ArbiterComparisonResult:
+    """All cells of one arbiter sweep at a fixed NoC design."""
+
+    design: NocDesign
+    arbiters: List[str]
+    cells: List[ArbiterCell] = field(default_factory=list)
+
+    def cell(self, app: str, ddr: DdrGeneration, arbiter: str) -> ArbiterCell:
+        for cell in self.cells:
+            if cell.app == app and cell.ddr == ddr and cell.arbiter == arbiter:
+                return cell
+        raise KeyError((app, ddr, arbiter))
+
+    def averages(self) -> Dict[str, Dict[str, float]]:
+        result: Dict[str, Dict[str, float]] = {}
+        for arbiter in self.arbiters:
+            cells = [c for c in self.cells if c.arbiter == arbiter]
+            result[arbiter] = {
+                metric: sum(c.value(metric) for c in cells) / len(cells)
+                for metric in METRICS
+            }
+        return result
+
+    def bound_violations(self) -> List[ArbiterCell]:
+        """Cells whose measured p100 exceeds the analytic bound — must be
+        empty for any correctly bounded backend."""
+        return [
+            cell for cell in self.cells
+            if cell.metrics.wcet_bound is not None
+            and cell.metrics.service_p100 > cell.metrics.wcet_bound
+        ]
+
+
+def run_arbiter_comparison(
+    arbiters: Sequence[str] = DEFAULT_ARBITERS,
+    design: NocDesign = NocDesign.GSS_SAGM,
+    priority: bool = False,
+    cycles: int | None = None,
+    warmup: int | None = None,
+    seeds: Iterable[int] = DEFAULT_SEEDS,
+    apps: Optional[Sequence[str]] = None,
+) -> ArbiterComparisonResult:
+    """Sweep the memory-arbiter axis over the (app x DDR) grid.
+
+    The NoC design is held fixed (default: the paper's best, GSS+SAGM)
+    so the cells isolate what the *memory-side* arbiter contributes —
+    the "how does application-aware NoC arbitration fare against newer
+    SDRAM arbiters" question.  ``apps`` restricts the application rows
+    (the CI smoke job runs a single app).
+    """
+    result = ArbiterComparisonResult(design=design, arbiters=list(arbiters))
+    overrides = {}
+    if cycles is not None:
+        overrides["cycles"] = cycles
+    if warmup is not None:
+        overrides["warmup"] = warmup
+    for app, points in PAPER_CLOCK_POINTS.items():
+        if apps is not None and app not in apps:
+            continue
+        for ddr, mhz in points.items():
+            for arbiter in arbiters:
+                config = experiment_config(
+                    app=app,
+                    ddr=ddr,
+                    clock_mhz=mhz,
+                    design=design,
+                    priority_enabled=priority,
+                    arbiter=arbiter,
+                    **overrides,
+                )
+                metrics = run_averaged(config, seeds=seeds)
+                result.cells.append(
+                    ArbiterCell(app, ddr, mhz, arbiter, metrics)
+                )
+    return result
+
+
+def render_arbiter_comparison(
+    result: ArbiterComparisonResult,
+    title: str = "Memory-arbiter comparison",
+) -> str:
+    """Text table: per-point utilization/latency per backend, then the
+    WCET columns — measured p100 service latency vs. analytic bound
+    ("—" for backends with no bound)."""
+    headers = ["Application", "Clock"]
+    for arbiter in result.arbiters:
+        headers.append(f"{arbiter}:util")
+        headers.append(f"{arbiter}:lat")
+        headers.append(f"{arbiter}:p100")
+        headers.append(f"{arbiter}:wcet")
+    rows: List[List[object]] = []
+    for app, points in PAPER_CLOCK_POINTS.items():
+        for ddr, mhz in points.items():
+            try:
+                cells = {
+                    arbiter: result.cell(app, ddr, arbiter)
+                    for arbiter in result.arbiters
+                }
+            except KeyError:
+                continue  # app filtered out of this sweep
+            row: List[object] = [app, f"{mhz}MHz/{ddr.value}"]
+            for arbiter in result.arbiters:
+                cell = cells[arbiter]
+                row.append(cell.metrics.utilization)
+                row.append(cell.metrics.latency_all)
+                row.append(cell.metrics.service_p100)
+                bound = cell.metrics.wcet_bound
+                row.append("—" if bound is None else bound)
+            rows.append(row)
+    table = format_table(
+        f"{title} (design: {result.design.value})", headers, rows
+    )
+    violations = result.bound_violations()
+    if violations:
+        lines = [table, "", "BOUND VIOLATIONS:"]
+        for cell in violations:
+            lines.append(
+                f"  {cell.app}/{cell.ddr.value}@{cell.clock_mhz}MHz/"
+                f"{cell.arbiter}: p100 {cell.metrics.service_p100:.0f} > "
+                f"bound {cell.metrics.wcet_bound:.0f}"
+            )
+        return "\n".join(lines)
+    return table

@@ -13,7 +13,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from ..core.system import build_system
 from ..sim.config import SystemConfig
@@ -28,7 +28,14 @@ DEFAULT_SEEDS = (2010, 2011)
 
 @dataclass(frozen=True)
 class AveragedMetrics:
-    """Seed-averaged metrics for one configuration."""
+    """Seed-averaged metrics for one configuration.
+
+    The WCET pair aggregates by *max*, not mean: ``service_p100`` is the
+    worst service latency observed across the seeds, and ``wcet_bound``
+    the largest analytic bound any seed reported (``None`` when the
+    backend has no bound) — a bound that held per-seed must hold for the
+    maxima too, so the pair stays directly comparable.
+    """
 
     utilization: float
     raw_utilization: float
@@ -37,12 +44,15 @@ class AveragedMetrics:
     completed: float
     row_hit_rate: float
     runs: int
+    service_p100: float = 0.0
+    wcet_bound: Optional[float] = None
 
     @classmethod
     def from_runs(cls, runs: Sequence[RunMetrics]) -> "AveragedMetrics":
         if not runs:
             raise ValueError("no runs to average")
         n = len(runs)
+        bounds = [r.wcet_bound for r in runs if r.wcet_bound is not None]
         return cls(
             utilization=sum(r.utilization for r in runs) / n,
             raw_utilization=sum(r.raw_utilization for r in runs) / n,
@@ -51,6 +61,8 @@ class AveragedMetrics:
             completed=sum(r.completed for r in runs) / n,
             row_hit_rate=sum(r.row_hit_rate for r in runs) / n,
             runs=n,
+            service_p100=max((r.service_p100 for r in runs), default=0.0),
+            wcet_bound=max(bounds) if bounds else None,
         )
 
 

@@ -110,6 +110,14 @@ class SystemConfig:
     #: Attach the :class:`repro.resilience.invariants.InvariantChecker`
     #: simulator hook (token/credit conservation, packet-age bound).
     check_invariants: bool = False
+    #: Memory-arbiter backend, by registry name (see
+    #: :mod:`repro.dram.scheduler`): ``engine`` | ``memmax`` |
+    #: ``databahn`` | ``dpq`` | ``bank-reg``, or any user-registered
+    #: backend.  ``None`` — the default — keeps the paper's
+    #: design-matched subsystem (MemMax/Databahn for CONV designs, the
+    #: thin Fig. 6 controller otherwise), bit-identical to the pre-seam
+    #: code path.
+    arbiter: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.design, NocDesign):
@@ -177,6 +185,19 @@ class SystemConfig:
                     f"expected a repro.resilience.FaultConfig or None, "
                     f"got {self.faults!r}",
                 )
+        if self.arbiter is not None:
+            # Imported lazily: the backend modules import this module for
+            # SystemConfig.  Validating here turns a misspelled backend
+            # name into a ConfigError at the call site instead of a deep
+            # construction-time KeyError.
+            from ..dram.scheduler import registered_backends
+
+            if self.arbiter not in registered_backends():
+                raise ConfigError(
+                    "arbiter",
+                    f"unknown memory-arbiter backend {self.arbiter!r}; "
+                    f"registered: {registered_backends()}",
+                )
         # Validate against the application registry (imported lazily so that
         # user-registered models in repro.workloads.apps.APP_MODELS count).
         from ..workloads.apps import APP_MODELS
@@ -197,6 +218,8 @@ class SystemConfig:
         tag = self.design.value
         if self.design.uses_gss_router and self.sti:
             tag += "+sti"
+        if self.arbiter is not None:
+            tag += f"/{self.arbiter}"
         return f"{self.app}/{self.ddr.value}@{self.clock_mhz}MHz/{tag}"
 
 

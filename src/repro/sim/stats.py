@@ -28,12 +28,15 @@ class LatencySeries:
     count: int = 0
     total: int = 0
     maximum: int = 0
+    minimum: int = 0
     samples: List[int] = field(default_factory=list)
     keep_samples: bool = False
 
     def record(self, latency: int) -> None:
         if latency < 0:
             raise ValueError(f"negative latency {latency}")
+        if self.count == 0 or latency < self.minimum:
+            self.minimum = latency
         self.count += 1
         self.total += latency
         if latency > self.maximum:
@@ -45,15 +48,35 @@ class LatencySeries:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @property
+    def p100(self) -> float:
+        """Exact observed worst case.  Served from the O(1) running
+        maximum, so it is available whether or not samples were kept and
+        never under-reports through rank rounding — the WCET column reads
+        this, not ``percentile(100)``."""
+        return float(self.maximum)
+
+    @property
+    def p0(self) -> float:
+        """Exact observed best case (running minimum)."""
+        return float(self.minimum)
+
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile (0-100) of recorded latencies, with
         linear interpolation between closest ranks (the numpy/R-7 default).
 
-        Requires ``keep_samples=True``; the paper reports means, but tail
-        latency is what a real-time core actually provisions for.
+        ``q == 0`` and ``q == 100`` are served exactly from the running
+        minimum/maximum — no rank arithmetic, no ``keep_samples``
+        requirement — so the extremes cannot be under-reported.  Interior
+        quantiles need ``keep_samples=True``; the paper reports means, but
+        tail latency is what a real-time core actually provisions for.
         """
         if not 0 <= q <= 100:
             raise ValueError("percentile must be within [0, 100]")
+        if self.count and q == 100:
+            return self.p100
+        if self.count and q == 0:
+            return self.p0
         if not self.keep_samples:
             raise RuntimeError("series was created without keep_samples")
         if not self.samples:
@@ -228,7 +251,15 @@ class StatsCollector:
 
 @dataclass
 class RunMetrics:
-    """Frozen snapshot of one simulation run's headline metrics."""
+    """Frozen snapshot of one simulation run's headline metrics.
+
+    ``service_p100`` / ``wcet_bound`` carry the memory-arbiter WCET
+    column: the measured worst-case service latency (admission → final
+    data beat, from the scheduler's always-on series) and the backend's
+    analytic bound when it has one.  Both default empty so records cached
+    before the scheduler seam still round-trip through
+    ``RunMetrics(**payload)``.
+    """
 
     utilization: float
     raw_utilization: float
@@ -237,9 +268,27 @@ class RunMetrics:
     completed: int
     row_hit_rate: float
     cycles: int
+    service_p100: float = 0.0
+    wcet_bound: Optional[float] = None
 
     @classmethod
-    def from_collector(cls, stats: StatsCollector, cycles: int) -> "RunMetrics":
+    def from_collector(
+        cls,
+        stats: StatsCollector,
+        cycles: int,
+        scheduler=None,
+    ) -> "RunMetrics":
+        service_p100 = 0.0
+        wcet_bound: Optional[float] = None
+        if scheduler is not None:
+            series = getattr(scheduler, "service_latency", None)
+            if series is not None and series.count:
+                service_p100 = series.p100
+            bound_fn = getattr(scheduler, "latency_bound", None)
+            if bound_fn is not None:
+                bound = bound_fn()
+                if bound is not None:
+                    wcet_bound = float(bound)
         return cls(
             utilization=stats.utilization,
             raw_utilization=stats.raw_utilization,
@@ -248,4 +297,6 @@ class RunMetrics:
             completed=stats.all_packets.count,
             row_hit_rate=stats.row_hit_rate,
             cycles=cycles,
+            service_p100=service_p100,
+            wcet_bound=wcet_bound,
         )

@@ -260,3 +260,64 @@ def config_grid_spec(
         root_seed=root_seed,
         resolver=resolve,
     )
+
+
+# --------------------------------------------------------------------- #
+# Memory-arbiter matrix
+# --------------------------------------------------------------------- #
+
+#: Every builtin Scheduler backend, in render order.
+ARBITER_MATRIX_BACKENDS = ("engine", "memmax", "databahn", "dpq", "bank-reg")
+
+
+def arbiter_matrix_spec(
+    arbiters: Sequence[str] = ARBITER_MATRIX_BACKENDS,
+    seeds: Sequence[int] = (2010,),
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
+    **base_overrides,
+) -> SweepSpec:
+    """The arbiter × seed matrix: one ``metrics`` job per backend/seed at
+    a fixed NoC design (the CI smoke job's grid).  Plain
+    :func:`config_grid_spec` underneath, so the jobs share the exhibit
+    cache key space."""
+    base: Dict[str, object] = dict(base_overrides)
+    if cycles is not None:
+        base["cycles"] = cycles
+    if warmup is not None:
+        base["warmup"] = warmup
+    return config_grid_spec(
+        base=base,
+        axes={"seed": list(seeds), "arbiter": list(arbiters)},
+        name="arbiter-matrix",
+    )
+
+
+def arbiter_matrix_rows(
+    store: ResultStore, spec: SweepSpec
+) -> List[Tuple[str, int, RunMetrics]]:
+    """``(arbiter, seed, metrics)`` per matrix job, in grid order."""
+    rows: List[Tuple[str, int, RunMetrics]] = []
+    for job in spec.expand():
+        result = _stored_result(store, job)
+        rows.append(
+            (
+                job.params["arbiter"],
+                job.params["seed"],
+                RunMetrics(**result),
+            )
+        )
+    return rows
+
+
+def run_arbiter_matrix_grid(
+    store: Optional[ResultStore] = None,
+    workers: int = 1,
+    **spec_kwargs,
+) -> Tuple[List[Tuple[str, int, RunMetrics]], SweepReport]:
+    """Run the arbiter matrix through the orchestrator, rebuild rows."""
+    spec = arbiter_matrix_spec(**spec_kwargs)
+    if store is None:
+        store = ResultStore()
+    report = run_sweep(spec, store=store, workers=workers)
+    return arbiter_matrix_rows(store, spec), report

@@ -354,7 +354,9 @@ def run_metrics_job(params: Mapping[str, object]) -> Dict[str, object]:
         checkpoint_every=every,
         on_checkpoint=snapshot,
     )
-    metrics = RunMetrics.from_collector(system.stats, system.simulator.cycle)
+    metrics = RunMetrics.from_collector(
+        system.stats, system.simulator.cycle, scheduler=system.subsystem
+    )
     try:
         path.unlink()
     except OSError:

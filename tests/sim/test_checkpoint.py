@@ -198,6 +198,49 @@ def test_resume_identity_with_sampler(tmp_path):
     ]
 
 
+ARBITERS = ("engine", "memmax", "databahn", "dpq", "bank-reg")
+
+
+@pytest.mark.parametrize("arbiter", ARBITERS)
+@pytest.mark.parametrize("faults", [None, FAULTS], ids=["clean", "faulty"])
+def test_resume_identity_every_arbiter(tmp_path, arbiter, faults):
+    """Every Scheduler backend round-trips through a mid-run snapshot
+    bit-identically: metrics (including the backend-sourced WCET pair)
+    and the full scheduler_stats surface — queue contents, priority
+    order, budget ledgers — match a never-serialized run."""
+    def config():
+        return SystemConfig(
+            app="single_dtv", cycles=CYCLES, warmup=WARMUP,
+            design=NocDesign.GSS_SAGM, seed=2010, faults=faults,
+            arbiter=arbiter,
+        )
+
+    def observe(system):
+        observed = _observe(system)
+        observed["metrics"] = dataclasses.asdict(
+            RunMetrics.from_collector(
+                system.stats, system.simulator.cycle,
+                scheduler=system.subsystem,
+            )
+        )
+        observed["scheduler"] = system.subsystem.scheduler_stats()
+        return observed
+
+    baseline = build_system(config())
+    baseline.simulator.run(CYCLES)
+    expected = observe(baseline)
+
+    system = build_system(config())
+    system.simulator.run(MID)
+    restored = load_checkpoint(
+        save_checkpoint(tmp_path / f"{arbiter}.ckpt", system)
+    )
+    restored.simulator.run(CYCLES - MID)
+    assert restored.simulator.cycle == CYCLES
+    diffs = _diffs(observe(restored), expected)
+    assert not diffs, f"{arbiter} resume diverged: {diffs}"
+
+
 # ---------------------------------------------------------------------- #
 # checkpoint_every segmentation
 # ---------------------------------------------------------------------- #

@@ -108,6 +108,23 @@ class TestConfigError:
             SystemConfig(faults="high")
         assert excinfo.value.field == "faults"
 
+    def test_unknown_arbiter_lists_registered_backends(self):
+        with pytest.raises(ConfigError) as excinfo:
+            SystemConfig(arbiter="tdm")
+        assert excinfo.value.field == "arbiter"
+        message = str(excinfo.value)
+        for name in ("engine", "memmax", "databahn", "dpq", "bank-reg"):
+            assert name in message
+
+    def test_registered_arbiter_accepted_and_labelled(self):
+        config = SystemConfig(arbiter="dpq")
+        assert config.arbiter == "dpq"
+        assert config.label.endswith("/dpq")
+
+    def test_default_arbiter_leaves_label_unchanged(self):
+        base = SystemConfig().label
+        assert SystemConfig(arbiter="dpq").label == f"{base}/dpq"
+
     def test_fault_config_accepted(self):
         from repro.resilience.faults import FaultConfig
 

@@ -38,6 +38,49 @@ class TestLatencySeries:
         assert series.mean == pytest.approx(sum(values) / len(values))
         assert series.maximum == max(values)
 
+    def test_p0_p100_without_kept_samples(self):
+        """Extremes are O(1) streaming fields — no keep_samples needed,
+        so the WCET column can never under-report the worst case."""
+        series = LatencySeries()
+        for value in (30, 10, 20):
+            series.record(value)
+        assert series.p0 == 10.0
+        assert series.p100 == 30.0
+        assert series.minimum == 10
+        assert series.percentile(0) == 10.0
+        assert series.percentile(100) == 30.0
+
+    def test_minimum_tracks_first_sample(self):
+        series = LatencySeries()
+        series.record(0)
+        series.record(5)
+        assert series.minimum == 0
+        assert series.p0 == 0.0
+
+    def test_interior_percentile_still_requires_samples(self):
+        series = LatencySeries()
+        series.record(10)
+        with pytest.raises(RuntimeError):
+            series.percentile(50)
+
+    def test_percentile_empty_series_still_rejected(self):
+        series = LatencySeries(keep_samples=True)
+        for q in (0, 50, 100):
+            with pytest.raises(ValueError):
+                series.percentile(q)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1))
+    def test_exact_extremes_match_kept_samples(self, values):
+        streaming = LatencySeries()
+        kept = LatencySeries(keep_samples=True)
+        for value in values:
+            streaming.record(value)
+            kept.record(value)
+        assert streaming.percentile(0) == kept.percentile(0) == min(values)
+        assert (
+            streaming.percentile(100) == kept.percentile(100) == max(values)
+        )
+
 
 class TestStatsCollector:
     def test_warmup_excludes_early_completions(self):

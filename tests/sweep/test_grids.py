@@ -130,6 +130,45 @@ class TestConfigGrid:
         assert params["link_buffer_flits"] == 12
 
 
+@needs_fork
+class TestArbiterMatrixGolden:
+    ARBITERS = ("engine", "dpq", "bank-reg")
+
+    def test_two_worker_matrix_bit_identical_to_serial(self):
+        from repro.sweep import run_arbiter_matrix_grid
+
+        serial = [
+            run_once(
+                experiment_config(seed=2010, arbiter=arbiter, **TINY)
+            ).metrics
+            for arbiter in self.ARBITERS
+        ]
+        store = ResultStore()
+        rows, report = run_arbiter_matrix_grid(
+            store=store, workers=2, arbiters=self.ARBITERS,
+            seeds=(2010,), **TINY
+        )
+        assert report.executed == len(self.ARBITERS)
+        assert [name for name, _, _ in rows] == list(self.ARBITERS)
+        assert [m for _, _, m in rows] == serial
+        again, report2 = run_arbiter_matrix_grid(
+            store=store, workers=2, arbiters=self.ARBITERS,
+            seeds=(2010,), **TINY
+        )
+        assert report2.all_cached
+        assert [m for _, _, m in again] == serial
+
+    def test_matrix_spec_keys_cover_the_arbiter_field(self):
+        from repro.sweep import arbiter_matrix_spec
+
+        spec = arbiter_matrix_spec(
+            arbiters=("engine", "dpq"), seeds=(2010,), **TINY
+        )
+        params = [job.params for job in spec.expand()]
+        assert [p["arbiter"] for p in params] == ["engine", "dpq"]
+        assert params[0]["cycles"] == TINY["cycles"]
+
+
 class TestExhibitCache:
     def test_run_once_serves_identical_metrics_from_store(self):
         config = experiment_config(app="bluray", seed=2010, **TINY)

@@ -58,6 +58,39 @@ class TestCommands:
         assert main(["run", "--cycles", "1200", "--warmup", "200"]) == 0
         assert "percentiles" not in capsys.readouterr().out
 
+    def test_run_with_arbiter_prints_wcet(self, capsys):
+        code = main(["run", "--cycles", "2500", "--warmup", "300",
+                     "--arbiter", "dpq"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "/dpq" in out
+        assert "service p100" in out
+        assert "analytic bound" in out
+
+    def test_run_engine_arbiter_has_no_bound_line(self, capsys):
+        code = main(["run", "--cycles", "1500", "--warmup", "300",
+                     "--arbiter", "engine"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "service p100" in out
+        assert "analytic bound" not in out
+
+    def test_run_rejects_unknown_arbiter(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--arbiter", "bogus"])
+
+    def test_arbiters_command_renders_wcet_table(self, capsys):
+        code = main([
+            "arbiters", "--cycles", "1500", "--warmup", "300",
+            "--seeds", "2010", "--apps", "single_dtv",
+            "--arbiters", "engine", "dpq",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Memory-arbiter comparison" in out
+        assert "dpq:wcet" in out
+        assert "BOUND VIOLATIONS" not in out
+
     def test_table4_renders(self, capsys):
         assert main(["table4"]) == 0
         assert "Table IV" in capsys.readouterr().out
@@ -259,6 +292,26 @@ class TestSweepCommand:
         with pytest.raises(Exception):
             main([
                 "sweep", "grid", "--axis", "bogus_field=1,2",
+                "--jobs", "1", "--store", str(tmp_path / "s.jsonl"),
+                "--quiet",
+            ])
+
+    def test_grid_sweeps_arbiter_axis(self, capsys, tmp_path):
+        store = tmp_path / "store.jsonl"
+        code = main([
+            "sweep", "grid",
+            "--axis", "arbiter=engine,dpq",
+            "--set", "cycles=1200", "--set", "warmup=200",
+            "--set", "seed=7",
+            "--jobs", "1", "--store", str(store), "--quiet",
+        ])
+        assert code == 0
+        assert "2 job(s)" in capsys.readouterr().out
+
+    def test_grid_rejects_unknown_arbiter(self, tmp_path):
+        with pytest.raises(Exception, match="memory-arbiter"):
+            main([
+                "sweep", "grid", "--axis", "arbiter=bogus",
                 "--jobs", "1", "--store", str(tmp_path / "s.jsonl"),
                 "--quiet",
             ])
